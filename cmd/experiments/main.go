@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig10
+//	experiments -run all -scale 4 -o results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "all", "experiment id, or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		scale = flag.Int("scale", 1, "divide workload sizes by this (1 = full evaluation)")
+		out   = flag.String("o", "", "write output to file (default stdout)")
+		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	opt := experiments.Options{Seed: *seed, Scale: *scale}
+	var todo []experiments.Experiment
+	if *runID == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*runID)
+		if err != nil {
+			fail(err)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	for _, e := range todo {
+		t0 := time.Now()
+		res := e.Run(opt)
+		res.Render(w)
+		if *csv != "" {
+			if err := res.WriteCSV(*csv); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", e.ID, time.Since(t0).Seconds())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,222 @@
+// Command gcsim runs one benchmark on the simulated testbed and prints a
+// GC-log-style summary, optionally comparing the vanilla JVM with the
+// paper's optimizations.
+//
+// Usage:
+//
+//	gcsim -bench lusearch -mutators 16 -opt all
+//	gcsim -bench cassandra -clients 256 -requests 20000 -compare
+//	gcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gclog"
+	"repro/internal/jvm"
+	"repro/internal/ostopo"
+	"repro/internal/schedtrace"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "lusearch", "benchmark name (see -list)")
+		list     = flag.Bool("list", false, "list available benchmarks and exit")
+		mutators = flag.Int("mutators", 16, "number of mutator threads")
+		gcth     = flag.Int("gcthreads", 0, "GC threads (0 = HotSpot heuristic)")
+		heapMB   = flag.Int("heap", 0, "heap size in MB (0 = Table-2 default)")
+		opt      = flag.String("opt", "none", "optimizations: none|affinity|steal|all")
+		compare  = flag.Bool("compare", false, "run vanilla and optimized, print both")
+		clients  = flag.Int("clients", 64, "closed-loop clients (server benchmarks)")
+		requests = flag.Int("requests", 10000, "total requests (server benchmarks)")
+		busy     = flag.Int("busyloops", 0, "interfering busy-loop threads")
+		smt      = flag.Bool("smt", false, "enable SMT (40 logical CPUs)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		gclogF   = flag.Bool("gclog", false, "print a HotSpot-style GC log")
+		gcjson   = flag.String("gcjson", "", "write the GC log as JSON to a file")
+		timeline = flag.Bool("timeline", false, "render a scheduling timeline around a mid-run GC")
+		runs     = flag.Int("runs", 1, "average over this many seeds (the paper averages 10 runs)")
+	)
+	flag.Parse()
+
+	if *list {
+		tab := stats.NewTable("benchmarks", "name", "suite", "heap(MB)", "class")
+		for _, b := range core.Benchmarks() {
+			class := "batch"
+			if b.ServiceCompute > 0 {
+				class = "server"
+			}
+			tab.AddRow(b.Name, b.Suite, b.HeapMB, class)
+		}
+		tab.Render(os.Stdout)
+		return
+	}
+
+	levels := map[string]core.Optimizations{
+		"none": core.OptNone, "affinity": core.OptAffinity,
+		"steal": core.OptSteal, "all": core.OptAll,
+	}
+	level, ok := levels[*opt]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gcsim: unknown -opt %q (none|affinity|steal|all)\n", *opt)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Benchmark: *bench, Mutators: *mutators, GCThreads: *gcth,
+		HeapMB: *heapMB, Optimizations: level,
+		Clients: *clients, Requests: *requests,
+		BusyLoops: *busy, SMT: *smt, Seed: *seed,
+	}
+
+	if *timeline {
+		if err := renderTimeline(cfg); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *compare {
+		if *runs > 1 {
+			compareRuns(cfg, *runs)
+			return
+		}
+		van, optres, err := core.Compare(cfg)
+		if err != nil {
+			fail(err)
+		}
+		report("vanilla", van, *gclogF)
+		report("optimized", optres, *gclogF)
+		fmt.Printf("improvement: total %.1f%%, GC %.1f%%\n",
+			100*stats.Improvement(float64(van.TotalTime), float64(optres.TotalTime)),
+			100*stats.Improvement(float64(van.GCTime), float64(optres.GCTime)))
+		return
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	report(*opt, res, *gclogF)
+	if *gcjson != "" {
+		f, err := os.Create(*gcjson)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := gclog.WriteJSON(f, res.Reports); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func report(label string, r *core.Result, printLog bool) {
+	fmt.Printf("[%s] %s: mutators=%d gcthreads=%d\n", label, r.Benchmark, r.Mutators, r.GCThreads)
+	fmt.Printf("  total=%v mutator=%v gc=%v (%.1f%%)\n",
+		r.TotalTime, r.MutatorTime, r.GCTime, 100*r.GCRatio())
+	fmt.Printf("  collections: %d minor (%v), %d major (%v)\n",
+		r.MinorGCs, r.MinorGCTime, r.MajorGCs, r.MajorGCTime)
+	fmt.Printf("  steals: %d attempts, %.1f%% failed; monitor: %d fast, %d slow, %d owner-reacquires; rebinds: %d; mutator deep-wakes: %d\n",
+		r.Steal.TotalAttempts(), 100*r.Steal.FailureRate(),
+		r.Monitor.FastAcquires, r.Monitor.SlowAcquires, r.Monitor.OwnerReacquires, r.Rebinds, r.MutatorDeepWakes)
+	if r.Latency.N() > 0 {
+		fmt.Printf("  latency(ms): median=%.2f mean=%.2f p95=%.2f p99=%.2f p99.9=%.2f (%.0f ops/s)\n",
+			r.Latency.Median(), r.Latency.Mean(), r.Latency.Percentile(95),
+			r.Latency.Percentile(99), r.Latency.Percentile(99.9), r.ThroughputOPS)
+	}
+	if r.Err != nil {
+		fmt.Printf("  ERROR: %v\n", r.Err)
+	}
+	if printLog {
+		gclog.Write(os.Stdout, r.Reports)
+	}
+}
+
+// renderTimeline runs the configuration with scheduling tracing and draws
+// the timeline around a representative mid-run minor GC — the stacked
+// vanilla collection and the spread optimized one are plainly visible.
+func renderTimeline(cfg core.Config) error {
+	p, err := workload.ByName(cfg.Benchmark)
+	if err != nil {
+		return err
+	}
+	jcfg := jvm.Config{
+		Profile: p, Mutators: cfg.Mutators, GCThreads: cfg.GCThreads,
+		HeapMB: cfg.HeapMB, Clients: cfg.Clients, Requests: cfg.Requests,
+		Seed: cfg.Seed,
+	}
+	switch cfg.Optimizations {
+	case core.OptAffinity:
+		jcfg = jcfg.WithAffinityOnly()
+	case core.OptSteal:
+		jcfg = jcfg.WithStealOnly()
+	case core.OptAll:
+		jcfg = jcfg.WithOptimizations()
+	}
+	topo := ostopo.PaperTestbed()
+	if cfg.SMT {
+		topo = ostopo.PaperTestbedSMT()
+	}
+	r, err := jvm.Run(jvm.RunSpec{
+		Config: jcfg, Topo: topo, Seed: cfg.Seed,
+		BusyLoops: cfg.BusyLoops, Trace: true,
+	})
+	if err != nil {
+		return err
+	}
+	if len(r.Reports) == 0 || r.Trace == nil {
+		return fmt.Errorf("no collections recorded")
+	}
+	rep := r.Reports[len(r.Reports)/2]
+	pad := rep.Pause() / 4
+	from, to := rep.Start-pad, rep.End+pad
+	if from < 0 {
+		from = 0
+	}
+	fmt.Printf("%s (%s): GC #%d %s, pause %v, %d cores used\n",
+		r.Benchmark, cfg.Optimizations, rep.Seq, rep.Kind, rep.Pause(), rep.CoresUsed())
+	schedtrace.Render(os.Stdout, r.Trace, r.NumCPUs, from, to, schedtrace.Options{Width: 100, Legend: true})
+	return nil
+}
+
+// compareRuns averages vanilla and optimized over several seeds — the
+// paper's methodology ("each result was the average of 10 runs").
+func compareRuns(cfg core.Config, runs int) {
+	var vanTot, vanGC, optTot, optGC stats.Histogram
+	for i := 0; i < runs; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		van, opt, err := core.Compare(c)
+		if err != nil {
+			fail(err)
+		}
+		vanTot.Add(van.TotalTime.Millis())
+		vanGC.Add(van.GCTime.Millis())
+		optTot.Add(opt.TotalTime.Millis())
+		optGC.Add(opt.GCTime.Millis())
+	}
+	tab := stats.NewTable(fmt.Sprintf("%s, mean of %d runs (min..max)", cfg.Benchmark, runs),
+		"config", "total(ms)", "total-range", "gc(ms)", "gc-range")
+	row := func(name string, tot, gc *stats.Histogram) {
+		tab.AddRow(name, tot.Mean(),
+			fmt.Sprintf("%.0f..%.0f", tot.Percentile(0), tot.Percentile(100)),
+			gc.Mean(),
+			fmt.Sprintf("%.0f..%.0f", gc.Percentile(0), gc.Percentile(100)))
+	}
+	row("vanilla", &vanTot, &vanGC)
+	row("optimized", &optTot, &optGC)
+	tab.Render(os.Stdout)
+	fmt.Printf("mean improvement: total %.1f%%, GC %.1f%%\n",
+		100*stats.Improvement(vanTot.Mean(), optTot.Mean()),
+		100*stats.Improvement(vanGC.Mean(), optGC.Mean()))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Heap tuning study (the shape of Fig. 14): how heap size trades GC
+// frequency against per-collection cost, and how the optimized JVM shifts
+// that trade-off — it reaches a given total time at a much smaller memory
+// footprint than the vanilla JVM.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	tab := stats.NewTable("lusearch across heap sizes",
+		"heap(MB)", "vanilla-total(ms)", "opt-total(ms)", "vanilla-gc(ms)", "opt-gc(ms)", "minor-GCs")
+	type point struct {
+		mb          int
+		vanillaTot  float64
+		optimizeTot float64
+	}
+	var pts []point
+	for _, mb := range []int{30, 60, 90, 180, 360, 900} {
+		van, opt, err := core.Compare(core.Config{
+			Benchmark: "lusearch",
+			Mutators:  16,
+			HeapMB:    mb,
+			Seed:      31,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab.AddRow(mb, van.TotalTime.Millis(), opt.TotalTime.Millis(),
+			van.GCTime.Millis(), opt.GCTime.Millis(), van.MinorGCs)
+		pts = append(pts, point{mb, van.TotalTime.Millis(), opt.TotalTime.Millis()})
+	}
+	tab.Render(os.Stdout)
+
+	// Memory-for-time: for each optimized point, find the smallest vanilla
+	// heap that achieves a comparable (within 5%) total time — the paper's
+	// "the vanilla JVM can achieve comparable performance with the
+	// optimized JVM only with a much larger memory footprint".
+	fmt.Println()
+	for _, p := range pts {
+		equiv := -1
+		for _, v := range pts {
+			if v.vanillaTot <= p.optimizeTot*1.05 {
+				equiv = v.mb
+				break
+			}
+		}
+		if equiv > p.mb {
+			fmt.Printf("optimized @ %3d MB (%.0f ms)  ≈  vanilla needs %d MB (%.1fx the footprint)\n",
+				p.mb, p.optimizeTot, equiv, float64(equiv)/float64(p.mb))
+		}
+	}
+}

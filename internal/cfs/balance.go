@@ -1,0 +1,207 @@
+package cfs
+
+import (
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// This file implements the three load-balancing paths of §2.5:
+//
+//  1. new-idle balancing — a core becoming idle pulls a runnable thread
+//     from a busy core;
+//  2. periodic balancing — each core balances its domains at coarse
+//     intervals (64 ms SMT, doubling with distance);
+//  3. wake balancing — a waking thread may be placed on an idle core near
+//     its previous or its waker's core, but deep-idle cores are skipped.
+//
+// Only *runnable* threads are ever migrated: blocked threads are invisible
+// to all three paths, which is the heart of the paper's pathology.
+
+// selectWakeCore implements select_task_rq_fair: wake-affine choice between
+// the previous and the waker's core, followed by an idle-sibling search in
+// the target's LLC (node) domain.
+func (k *Kernel) selectWakeCore(t *Thread) ostopo.CoreID {
+	now := k.Sim.Now()
+	prev := t.core
+	waker := prev
+	if k.active != nil {
+		waker = k.active.core
+	}
+	target := prev
+	if !t.allowed(prev) {
+		target = k.allowedTarget(t)
+	}
+	if waker != target && t.allowed(waker) && k.cores[waker].load() < k.cores[target].load() {
+		target = waker
+	}
+	tc := k.cores[target]
+	if tc.idle() {
+		if target == prev {
+			k.Stats.WakesToPrev++
+		}
+		return target
+	}
+	// Idle-sibling search: like select_idle_core, prefer a fully idle
+	// physical core (both hyperthreads idle) over a hyperthread whose
+	// sibling is busy, which would halve both threads' speed.
+	pick := ostopo.CoreID(-1)
+	pickWholeIdle := false
+	for _, cand := range k.Topo.Domain(target, ostopo.DomainNode) {
+		if !t.allowed(cand) {
+			continue
+		}
+		cc := k.cores[cand]
+		if !cc.idle() {
+			continue
+		}
+		if k.P.AvoidDeepIdleWake && cc.deepIdle(now) {
+			k.Stats.DeepIdleSkips++
+			continue
+		}
+		wholeIdle := true
+		if sib, ok := k.Topo.Sibling(cand); ok && !k.cores[sib].idle() {
+			wholeIdle = false
+		}
+		if pick < 0 || (wholeIdle && !pickWholeIdle) {
+			pick, pickWholeIdle = cand, wholeIdle
+		}
+		if pickWholeIdle {
+			break
+		}
+	}
+	if pick >= 0 {
+		k.Stats.WakesToIdleCore++
+		return pick
+	}
+	if target == prev {
+		k.Stats.WakesToPrev++
+	}
+	return target
+}
+
+// newIdleBalance runs when a core is about to go idle: it pulls one
+// runnable thread from the busiest overloaded core, same node first.
+func (k *Kernel) newIdleBalance(c *core) bool {
+	now := k.Sim.Now()
+	for _, lvl := range []ostopo.DomainLevel{ostopo.DomainNode, ostopo.DomainSystem} {
+		if src := k.busiest(c, lvl, 2); src != nil {
+			if k.pullOne(src, c, now) {
+				k.Stats.NewIdlePulls++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// busiest returns the most loaded core in c's lvl domain with at least
+// minLoad runnable threads, or nil.
+func (k *Kernel) busiest(c *core, lvl ostopo.DomainLevel, minLoad int) *core {
+	var best *core
+	for _, id := range k.Topo.Domain(c.id, lvl) {
+		cc := k.cores[id]
+		if cc.load() >= minLoad && (best == nil || cc.load() > best.load()) {
+			best = cc
+		}
+	}
+	return best
+}
+
+// pullOne migrates one eligible queued (not running, not cache-hot,
+// affinity-permitting) thread from src to dst. The caller dispatches.
+func (k *Kernel) pullOne(src, dst *core, now simkit.Time) bool {
+	var best *Thread
+	for _, t := range src.rq {
+		if !t.allowed(dst.id) {
+			continue
+		}
+		if now-t.lastRanAt < k.P.MigrationCost && t.lastRanAt > 0 {
+			continue // cache hot
+		}
+		if best == nil || t.seq < best.seq {
+			best = t
+		}
+	}
+	if best == nil {
+		return false
+	}
+	src.remove(best)
+	src.reprogram()
+	best.vruntime = best.vruntime - src.minVr + dst.minVr
+	best.Migrations++
+	dst.push(best)
+	return true
+}
+
+// balanceLevels lists the domain levels a topology actually has.
+func (k *Kernel) balanceLevels() []ostopo.DomainLevel {
+	lvls := []ostopo.DomainLevel{ostopo.DomainNode, ostopo.DomainSystem}
+	if k.Topo.SMTWays == 2 {
+		lvls = append([]ostopo.DomainLevel{ostopo.DomainSMT}, lvls...)
+	}
+	return lvls
+}
+
+func (k *Kernel) balanceInterval(lvl ostopo.DomainLevel) simkit.Time {
+	switch lvl {
+	case ostopo.DomainSMT:
+		return k.P.BalanceIntervalSMT
+	case ostopo.DomainNode:
+		return k.P.BalanceIntervalNode
+	default:
+		return k.P.BalanceIntervalSystem
+	}
+}
+
+// startPeriodicBalance arms the recurring per-core balance timers, staggered
+// per core so they do not all fire at the same instant.
+func (k *Kernel) startPeriodicBalance() {
+	for _, c := range k.cores {
+		for _, lvl := range k.balanceLevels() {
+			every := k.balanceInterval(lvl)
+			if every <= 0 {
+				continue
+			}
+			stagger := simkit.Time(int64(c.id)) * 17 * simkit.Microsecond
+			k.schedBalance(c, lvl, every, every+stagger)
+		}
+	}
+}
+
+func (k *Kernel) schedBalance(c *core, lvl ostopo.DomainLevel, every, at simkit.Time) {
+	ev := k.Sim.At(at, func() {
+		if k.shutdown {
+			return
+		}
+		k.periodicBalance(c, lvl)
+		k.schedBalance(c, lvl, every, k.Sim.Now()+every)
+	})
+	k.balEvents = append(k.balEvents, ev)
+	// Keep the cancel list from growing without bound: drop fired events.
+	if len(k.balEvents) > 4*len(k.cores)*3 {
+		live := k.balEvents[:0]
+		for _, e := range k.balEvents {
+			if e.Pending() {
+				live = append(live, e)
+			}
+		}
+		k.balEvents = live
+	}
+}
+
+// periodicBalance pulls toward c from the busiest core in the domain when
+// the imbalance is at least two runnable threads.
+func (k *Kernel) periodicBalance(c *core, lvl ostopo.DomainLevel) {
+	src := k.busiest(c, lvl, c.load()+2)
+	if src == nil {
+		return
+	}
+	if k.pullOne(src, c, k.Sim.Now()) {
+		k.Stats.PeriodicPulls++
+		if c.curr == nil {
+			c.pickNext()
+		} else {
+			c.reprogram()
+		}
+	}
+}

@@ -1,0 +1,562 @@
+package cfs
+
+import (
+	"fmt"
+
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// Kernel is the simulated multicore OS: per-core CFS runqueues plus the
+// load-balancing machinery in balance.go.
+type Kernel struct {
+	Sim  *simkit.Sim
+	Topo *ostopo.Topology
+	P    Params
+
+	cores   []*core
+	threads []*Thread
+	nextTID int
+	active  *Thread // thread whose body is currently executing, if any
+
+	balEvents []*simkit.Event
+	shutdown  bool
+	trace     *Trace
+
+	Stats KernelStats
+}
+
+// KernelStats aggregates scheduler-level counters across a run.
+type KernelStats struct {
+	Preemptions       int // slice expirations
+	WakePreemptions   int // successful wakeup preemptions
+	WakePreemptFailed int // wakeups that could not preempt the current thread
+	NewIdlePulls      int
+	PeriodicPulls     int
+	WakesToPrev       int // wake placed on the thread's previous core
+	WakesToIdleCore   int // wake placed on an idle core found by the sibling search
+	DeepIdleSkips     int // idle cores skipped by wake placement because deep idle
+	ContextSwitches   int
+}
+
+type timerKind int
+
+const (
+	timerComplete timerKind = iota
+	timerSlice
+	timerResched
+)
+
+type core struct {
+	id ostopo.CoreID
+	k  *Kernel
+
+	rq   []*Thread
+	curr *Thread
+
+	timer     *simkit.Event
+	minVr     simkit.Time
+	idleSince simkit.Time
+	lastRun   *Thread // last thread that ran here (context-switch cost)
+
+}
+
+// NewKernel creates a kernel on the given simulator and topology.
+func NewKernel(sim *simkit.Sim, topo *ostopo.Topology, p Params) *Kernel {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	k := &Kernel{Sim: sim, Topo: topo, P: p}
+	n := topo.NumCPUs()
+	k.cores = make([]*core, n)
+	for i := 0; i < n; i++ {
+		k.cores[i] = &core{id: ostopo.CoreID(i), k: k}
+	}
+	k.startPeriodicBalance()
+	return k
+}
+
+// Threads returns all threads ever spawned.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// NumCPUs returns the number of logical CPUs.
+func (k *Kernel) NumCPUs() int { return k.Topo.NumCPUs() }
+
+// Shutdown cancels the kernel's recurring events so the simulator can drain.
+func (k *Kernel) Shutdown() {
+	k.shutdown = true
+	for _, e := range k.balEvents {
+		k.Sim.Cancel(e)
+	}
+	k.balEvents = nil
+	for _, c := range k.cores {
+		k.Sim.Cancel(c.timer)
+		c.timer = nil
+	}
+	for _, t := range k.threads {
+		k.Sim.Cancel(t.sleepEv)
+		t.sleepEv = nil
+	}
+}
+
+// Spawn creates a thread running body on the given core (like clone(2), the
+// child starts on the core it was created on; Linux fork-balancing is not
+// modeled because the paper's GC threads demonstrably start stacked).
+func (k *Kernel) Spawn(name string, on ostopo.CoreID, body func(*Env)) *Thread {
+	if int(on) < 0 || int(on) >= len(k.cores) {
+		panic(fmt.Sprintf("cfs: Spawn on invalid core %d", on))
+	}
+	t := &Thread{ID: k.nextTID, Name: name, k: k, core: on, state: StateBlocked}
+	k.nextTID++
+	k.threads = append(k.threads, t)
+	t.coro = simkit.NewCoro(k.Sim, func(yield func(request)) {
+		env := &Env{T: t, yield: yield}
+		body(env)
+	})
+	// Enqueue via an event so bodies never nest inside one another.
+	k.Sim.After(0, func() { k.enqueue(t, on, false) })
+	return t
+}
+
+// Unpark wakes t if it is parked; otherwise it stores a permit making the
+// next Park return immediately.
+func (k *Kernel) Unpark(t *Thread) {
+	if t.state == StateBlocked && t.parked && !t.wakePending {
+		t.parked = false
+		k.wake(t)
+		return
+	}
+	if t.state != StateDone && !t.wakePending {
+		t.permit = true
+	}
+}
+
+// --- core helpers ---
+
+func (c *core) idle() bool { return c.curr == nil && len(c.rq) == 0 }
+
+func (c *core) deepIdle(now simkit.Time) bool {
+	return c.idle() && now-c.idleSince >= c.k.P.DeepIdleAfter
+}
+
+// load is the instantaneous runnable load (running + queued).
+func (c *core) load() int {
+	n := len(c.rq)
+	if c.curr != nil {
+		n++
+	}
+	return n
+}
+
+// speed returns the execution speed of this core as a fraction num/den,
+// reduced when the SMT sibling is also busy.
+func (c *core) speed() (num, den int64) {
+	if sib, ok := c.k.Topo.Sibling(c.id); ok {
+		if c.k.cores[sib].curr != nil {
+			return c.k.P.SMTSpeedNum, c.k.P.SMTSpeedDen
+		}
+	}
+	return 1, 1
+}
+
+// wallFor converts work-ns to wall-ns at the current speed, rounding up.
+func (c *core) wallFor(work simkit.Time) simkit.Time {
+	num, den := c.speed()
+	if num == den {
+		return work
+	}
+	return simkit.Time((int64(work)*den + num - 1) / num)
+}
+
+// account charges CPU time to the current thread since its last accounting.
+func (c *core) account(now simkit.Time) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	delta := now - t.lastAccount
+	if delta <= 0 {
+		return
+	}
+	num, den := c.speed()
+	t.remaining -= simkit.Time(int64(delta) * num / den)
+	t.vruntime += delta
+	t.CPUTime += delta
+	t.lastAccount = now
+	if t.vruntime > c.minVr {
+		c.minVr = t.vruntime
+	}
+}
+
+// sliceLen returns the current thread's slice given queue occupancy.
+func (c *core) sliceLen() simkit.Time {
+	nr := simkit.Time(len(c.rq) + 1)
+	s := c.k.P.SchedLatency / nr
+	if s < c.k.P.MinGranularity {
+		s = c.k.P.MinGranularity
+	}
+	return s
+}
+
+// reprogram recomputes this core's next timer event (work completion or
+// slice expiry), cancelling any previous one.
+func (c *core) reprogram() {
+	k := c.k
+	k.Sim.Cancel(c.timer)
+	c.timer = nil
+	if c.curr == nil || k.shutdown {
+		return
+	}
+	now := k.Sim.Now()
+	at := now + c.wallFor(c.curr.remaining)
+	kind := timerComplete
+	if len(c.rq) > 0 {
+		sliceEnd := c.curr.dispatchedAt + c.sliceLen()
+		if sliceEnd < now {
+			sliceEnd = now
+		}
+		if sliceEnd < at {
+			at, kind = sliceEnd, timerSlice
+		}
+	}
+	c.timer = k.Sim.At(at, func() { c.onTimer(kind) })
+}
+
+func (c *core) onTimer(kind timerKind) {
+	k := c.k
+	now := k.Sim.Now()
+	c.timer = nil
+	t := c.curr
+	if t == nil {
+		return
+	}
+	c.account(now)
+	switch {
+	case kind == timerComplete || t.remaining <= 0:
+		// Work done: ask the body for its next request.
+		k.advance(t)
+	default:
+		// Preempt: requeue and pick the next thread.
+		if kind == timerSlice {
+			k.Stats.Preemptions++
+		}
+		c.deschedule(t, StateRunnable)
+		c.push(t)
+		c.pickNext()
+	}
+}
+
+// deschedule removes the running thread from the core without enqueueing it.
+func (c *core) deschedule(t *Thread, newState State) {
+	now := c.k.Sim.Now()
+	sc := c.siblingCheckpoint() // account the sibling at the pre-flip speed
+	if c.k.trace != nil {
+		c.k.trace.onDeschedule(c.id, now)
+	}
+	t.lastRanAt = now
+	t.state = newState
+	c.curr = nil
+	c.k.Sim.Cancel(c.timer)
+	c.timer = nil
+	if sc != nil {
+		sc.reprogram() // sibling now runs at full speed
+	}
+}
+
+// push adds a runnable thread to this core's queue.
+func (c *core) push(t *Thread) {
+	t.core = c.id
+	t.seq = c.k.Sim.Fired()
+	c.rq = append(c.rq, t)
+}
+
+// popMin removes and returns the minimum-vruntime runnable thread.
+func (c *core) popMin() *Thread {
+	best := -1
+	for i, t := range c.rq {
+		if best < 0 || t.vruntime < c.rq[best].vruntime ||
+			(t.vruntime == c.rq[best].vruntime && t.seq < c.rq[best].seq) {
+			best = i
+		}
+	}
+	t := c.rq[best]
+	c.rq[best] = c.rq[len(c.rq)-1]
+	c.rq = c.rq[:len(c.rq)-1]
+	return t
+}
+
+// remove deletes a specific thread from the runqueue (for migration).
+func (c *core) remove(t *Thread) bool {
+	for i, q := range c.rq {
+		if q == t {
+			c.rq[i] = c.rq[len(c.rq)-1]
+			c.rq = c.rq[:len(c.rq)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// pickNext dispatches the next thread, or goes idle (after attempting a
+// new-idle balance pull).
+func (c *core) pickNext() {
+	k := c.k
+	now := k.Sim.Now()
+	if c.curr != nil {
+		return
+	}
+	if len(c.rq) == 0 {
+		// Becoming idle: try to steal work from a busy core first.
+		if k.newIdleBalance(c) && len(c.rq) > 0 {
+			// fall through to dispatch the pulled thread
+		} else {
+			c.idleSince = now
+			return
+		}
+	}
+	sc := c.siblingCheckpoint() // account the sibling at the pre-flip speed
+	t := c.popMin()
+	t.state = StateRunning
+	t.dispatchedAt = now
+	t.lastAccount = now
+	c.curr = t
+	if c.lastRun != t {
+		k.Stats.ContextSwitches++
+		// Context-switch cost is charged as extra work at full speed.
+		t.remaining += k.P.CtxSwitchCost
+	}
+	c.lastRun = t
+	if k.trace != nil {
+		k.trace.onDispatch(c.id, t, now)
+	}
+	if sc != nil {
+		sc.reprogram() // sibling now runs at reduced speed
+	}
+	if t.remaining > 0 {
+		c.reprogram()
+		return
+	}
+	k.advance(t)
+}
+
+// siblingCheckpoint accounts the SMT sibling's current thread at the speed
+// in effect so far, ahead of a busy-state flip on this core that will change
+// that speed. It returns the sibling core if it has a current thread the
+// caller must reprogram after the flip.
+func (c *core) siblingCheckpoint() *core {
+	sib, ok := c.k.Topo.Sibling(c.id)
+	if !ok {
+		return nil
+	}
+	sc := c.k.cores[sib]
+	if sc.curr == nil {
+		return nil
+	}
+	sc.account(c.k.Sim.Now())
+	return sc
+}
+
+// advance resumes t's body for its next timed request. t must be current on
+// its core. advance loops so that zero-length requests cannot stall time.
+func (k *Kernel) advance(t *Thread) {
+	c := k.cores[t.core]
+	if c.curr != t {
+		panic("cfs: advance on non-current thread " + t.Name)
+	}
+	for {
+		t.remaining = 0
+		prev := k.active
+		k.active = t
+		req, ok := t.coro.Next()
+		k.active = prev
+		now := k.Sim.Now()
+		if !ok {
+			c.deschedule(t, StateDone)
+			c.pickNext()
+			return
+		}
+		switch r := req.(type) {
+		case reqCompute:
+			t.remaining = r.d
+			c.reprogram()
+			return
+		case reqSleep:
+			c.deschedule(t, StateBlocked)
+			t.parked = false
+			dur := r.d
+			t.sleepEv = k.Sim.After(dur, func() {
+				t.sleepEv = nil
+				k.wake(t)
+			})
+			c.pickNext()
+			return
+		case reqPark:
+			if t.permit {
+				// A permit arrived between the check in Env.Park and now
+				// (possible when Unpark targets the running thread).
+				t.permit = false
+				continue
+			}
+			t.parked = true
+			c.deschedule(t, StateBlocked)
+			c.pickNext()
+			return
+		case reqYield:
+			if len(c.rq) == 0 {
+				continue // nothing else to run; keep going
+			}
+			c.deschedule(t, StateRunnable)
+			// sched_yield: fall behind every currently queued thread.
+			for _, q := range c.rq {
+				if q.vruntime > t.vruntime {
+					t.vruntime = q.vruntime
+				}
+			}
+			t.vruntime++
+			c.push(t)
+			c.pickNext()
+			return
+		case reqMigrate:
+			c.deschedule(t, StateRunnable)
+			target := k.allowedTarget(t)
+			k.Sim.At(now, func() { k.enqueue(t, target, false) })
+			c.pickNext()
+			return
+		}
+	}
+}
+
+// allowedTarget picks the least-loaded core permitted by t's affinity mask.
+func (k *Kernel) allowedTarget(t *Thread) ostopo.CoreID {
+	best, bestLoad := ostopo.CoreID(-1), 1<<30
+	for i, c := range k.cores {
+		if !t.allowed(ostopo.CoreID(i)) {
+			continue
+		}
+		if l := c.load(); l < bestLoad {
+			best, bestLoad = ostopo.CoreID(i), l
+		}
+	}
+	if best < 0 {
+		best = t.core // degenerate mask; stay put
+	}
+	return best
+}
+
+// enqueue makes t runnable on core id, applying vruntime renormalization,
+// optional sleeper credit, and the wakeup-preemption check.
+func (k *Kernel) enqueue(t *Thread, id ostopo.CoreID, wakeup bool) {
+	if t.state == StateDone {
+		return
+	}
+	t.wakePending = false
+	c := k.cores[id]
+	now := k.Sim.Now()
+	if t.core != id {
+		// Renormalize vruntime across runqueues.
+		t.vruntime = t.vruntime - k.cores[t.core].minVr + c.minVr
+		t.Migrations++
+	}
+	if wakeup {
+		floor := c.minVr - k.P.SleeperCredit
+		if t.vruntime < floor {
+			t.vruntime = floor
+		}
+		t.Wakeups++
+	} else if t.vruntime < c.minVr {
+		t.vruntime = c.minVr
+	}
+	t.state = StateRunnable
+	wasIdle := c.curr == nil && len(c.rq) == 0
+	c.push(t)
+	if wasIdle {
+		c.pickNext()
+		return
+	}
+	if c.curr == nil {
+		// Another enqueue is racing at the same instant; dispatch.
+		c.pickNext()
+		return
+	}
+	if wakeup && k.wakePreempts(c, t, now) {
+		k.Stats.WakePreemptions++
+		// Preempt via a zero-delay timer so we never unwind a running body.
+		k.Sim.Cancel(c.timer)
+		c.timer = k.Sim.At(now, func() { c.onTimer(timerResched) })
+		return
+	}
+	if wakeup {
+		k.Stats.WakePreemptFailed++
+	}
+	c.reprogram()
+}
+
+// wakePreempts implements check_preempt_wakeup: the wakee preempts the
+// current thread only with a sufficient vruntime lead, and (per the paper's
+// minimum-runtime guarantee) only once the current thread has run for at
+// least MinGranularity.
+func (k *Kernel) wakePreempts(c *core, wakee *Thread, now simkit.Time) bool {
+	curr := c.curr
+	if curr == nil {
+		return true
+	}
+	c.account(now)
+	if k.P.WakePreemptMinRun && now-curr.dispatchedAt < k.P.MinGranularity {
+		return false
+	}
+	return curr.vruntime-wakee.vruntime > k.P.WakeupGranularity
+}
+
+// wake routes a wakeup through wake placement and C-state exit latency.
+func (k *Kernel) wake(t *Thread) {
+	now := k.Sim.Now()
+	target := k.selectWakeCore(t)
+	c := k.cores[target]
+	var lat simkit.Time
+	if c.idle() {
+		if c.deepIdle(now) {
+			lat = k.P.DeepIdleWakeLatency
+			t.DeepWakes++
+		} else {
+			lat = k.P.ShallowWakeLatency
+		}
+	}
+	t.wakePending = true
+	k.Sim.After(lat, func() { k.enqueue(t, target, true) })
+}
+
+// CoreLoads returns the per-core load_avg as visible to user space via
+// /proc. Running and runnable threads contribute 1.0 each. With the paper's
+// kernel fix (LoadAvgCountsBlocked) blocked threads contribute
+// BlockedLoadWeight toward the core they reside on; otherwise they are
+// invisible, which is why vanilla OS load balancing cannot see stacked
+// sleeping GC threads.
+func (k *Kernel) CoreLoads() []float64 {
+	loads := make([]float64, len(k.cores))
+	for i, c := range k.cores {
+		loads[i] = float64(c.load())
+	}
+	if k.P.LoadAvgCountsBlocked {
+		for _, t := range k.threads {
+			if t.state == StateBlocked {
+				loads[t.core] += k.P.BlockedLoadWeight
+			}
+		}
+	}
+	return loads
+}
+
+// RunnableLoads always returns only runnable counts (the balancer's view).
+func (k *Kernel) RunnableLoads() []int {
+	loads := make([]int, len(k.cores))
+	for i, c := range k.cores {
+		loads[i] = c.load()
+	}
+	return loads
+}
+
+// CoreOf returns the core a thread currently resides on.
+func (k *Kernel) CoreOf(t *Thread) ostopo.CoreID { return t.core }
+
+// Active returns the thread whose body is currently executing, or nil.
+func (k *Kernel) Active() *Thread { return k.active }

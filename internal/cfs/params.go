@@ -1,0 +1,119 @@
+// Package cfs implements a deterministic discrete-event model of the Linux
+// Completely Fair Scheduler on a multicore machine, faithful to the
+// mechanisms the paper identifies (§2.5, §3.2):
+//
+//   - per-core runqueues ordered by vruntime, with slices derived from
+//     sched_latency / nr_running clamped by sched_min_granularity;
+//   - wakeup preemption that fails when the current thread also just woke
+//     (sleeper credit makes the vruntime difference small) or has not yet
+//     run for its minimum granularity;
+//   - wake placement (wake_affine + idle-sibling search) that skips cores
+//     in deep C-states to save energy;
+//   - load balancing that only ever migrates runnable threads — blocked
+//     threads are invisible — via new-idle pulls and coarse periodic
+//     balancing (64 ms at the SMT level, doubling with domain distance);
+//   - optional SMT: sibling hyperthreads slow each other down when both
+//     are busy, and are balanced at a shorter interval.
+//
+// Simulated threads are written as ordinary Go functions receiving an *Env
+// whose primitives (Compute, Park, Sleep, ...) advance virtual time.
+package cfs
+
+import "repro/internal/simkit"
+
+// Params holds the scheduler model's tunables. Defaults follow Linux 4.9
+// CFS on a ~20-CPU machine (sysctl kernel.sched_* values) plus the C-state
+// model constants.
+type Params struct {
+	// SchedLatency is the targeted preemption latency: every runnable
+	// thread should run once within this period. A thread's slice is
+	// SchedLatency / nr_running, clamped below by MinGranularity.
+	SchedLatency simkit.Time
+	// MinGranularity is the minimum time a thread runs before it can be
+	// preempted (sched_min_granularity_ns).
+	MinGranularity simkit.Time
+	// WakeupGranularity is the vruntime lead a waking thread must have over
+	// the current thread to preempt it (sched_wakeup_granularity_ns).
+	WakeupGranularity simkit.Time
+	// SleeperCredit is the vruntime credit granted on wakeup
+	// (GENTLE_FAIR_SLEEPERS: half of SchedLatency).
+	SleeperCredit simkit.Time
+	// WakePreemptMinRun, when true, additionally requires the current
+	// thread to have run at least MinGranularity before a wakeup may
+	// preempt it. Off by default: in CFS (and in the paper's §3.2 account)
+	// the OnDeck thread fails to preempt the previous owner because both
+	// just woke with similar sleeper credit — a vruntime-difference effect,
+	// not a hard guard — and a hard guard would also wrongly shield
+	// CPU-bound threads from waking GC threads.
+	WakePreemptMinRun bool
+
+	// BalanceIntervalSMT/Node/System are the periodic load-balancing
+	// intervals at each domain level (the paper: 64 ms between
+	// hyperthreads, doubling as CPU distance increases).
+	BalanceIntervalSMT    simkit.Time
+	BalanceIntervalNode   simkit.Time
+	BalanceIntervalSystem simkit.Time
+	// MigrationCost makes recently-run threads "cache hot" and ineligible
+	// for migration (sched_migration_cost_ns).
+	MigrationCost simkit.Time
+
+	// DeepIdleAfter is the idle residency after which a core is considered
+	// to have entered a deep C-state (menu-governor model).
+	DeepIdleAfter simkit.Time
+	// DeepIdleWakeLatency is the exit latency of the deep C-state; waking a
+	// thread onto a deep-idle core delays its start by this much.
+	DeepIdleWakeLatency simkit.Time
+	// ShallowWakeLatency is the wakeup latency onto a shallow-idle core.
+	ShallowWakeLatency simkit.Time
+	// AvoidDeepIdleWake makes wake placement skip deep-idle cores (energy
+	// awareness, §2.5 reason 3). The stacked-GC-thread pathology depends
+	// on it; it is on by default as in production kernels.
+	AvoidDeepIdleWake bool
+	// CtxSwitchCost is charged (as extra work) when a core switches to a
+	// different thread than it last ran.
+	CtxSwitchCost simkit.Time
+
+	// LoadAvgCountsBlocked is the paper's kernel modification (§4.1): when
+	// true, the per-core load reported to the JVM's GC load analyzer also
+	// counts blocked threads residing on the core. Vanilla load_avg only
+	// measures ready/running tasks.
+	LoadAvgCountsBlocked bool
+	// BlockedLoadWeight is the load_avg contribution of one blocked
+	// resident thread (PELT decays sleepers well below a running thread's
+	// contribution of 1.0).
+	BlockedLoadWeight float64
+
+	// SMTSpeedNum/SMTSpeedDen give the per-thread throughput factor when
+	// both hyperthreads of a physical core are busy (e.g. 13/20 = 0.65,
+	// i.e. a combined 1.3x over one thread).
+	SMTSpeedNum, SMTSpeedDen int64
+}
+
+// DefaultParams returns the Linux-4.9-like defaults used throughout the
+// evaluation.
+func DefaultParams() Params {
+	return Params{
+		SchedLatency:      24 * simkit.Millisecond,
+		MinGranularity:    3 * simkit.Millisecond,
+		WakeupGranularity: 4 * simkit.Millisecond,
+		SleeperCredit:     12 * simkit.Millisecond,
+		WakePreemptMinRun: false,
+
+		BalanceIntervalSMT:    64 * simkit.Millisecond,
+		BalanceIntervalNode:   128 * simkit.Millisecond,
+		BalanceIntervalSystem: 256 * simkit.Millisecond,
+		MigrationCost:         500 * simkit.Microsecond,
+
+		DeepIdleAfter:       200 * simkit.Microsecond,
+		DeepIdleWakeLatency: 25 * simkit.Microsecond,
+		ShallowWakeLatency:  3 * simkit.Microsecond,
+		AvoidDeepIdleWake:   true,
+		CtxSwitchCost:       2 * simkit.Microsecond,
+
+		LoadAvgCountsBlocked: false,
+		BlockedLoadWeight:    0.5,
+
+		SMTSpeedNum: 13,
+		SMTSpeedDen: 20,
+	}
+}

@@ -1,0 +1,172 @@
+package cfs
+
+import (
+	"math/rand"
+
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// State is a simulated thread's scheduling state.
+type State int
+
+const (
+	// StateRunnable means the thread is on a runqueue waiting for CPU.
+	StateRunnable State = iota
+	// StateRunning means the thread is current on some core.
+	StateRunning
+	// StateBlocked means the thread is parked or sleeping.
+	StateBlocked
+	// StateDone means the thread's body returned.
+	StateDone
+)
+
+func (s State) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	}
+	return "?"
+}
+
+// request is what a thread body yields to the kernel.
+type request interface{ isReq() }
+
+type reqCompute struct{ d simkit.Time }
+type reqSleep struct{ d simkit.Time }
+type reqPark struct{}
+type reqYield struct{}
+type reqMigrate struct{}
+
+func (reqCompute) isReq() {}
+func (reqSleep) isReq()   {}
+func (reqPark) isReq()    {}
+func (reqYield) isReq()   {}
+func (reqMigrate) isReq() {}
+
+// Thread is a simulated OS thread.
+type Thread struct {
+	ID   int
+	Name string
+
+	k    *Kernel
+	coro *simkit.Coro[request]
+
+	state State
+	core  ostopo.CoreID // current core, or residence core while blocked
+	seq   uint64        // runqueue tiebreak
+
+	vruntime  simkit.Time
+	remaining simkit.Time // work left in the current compute request
+
+	dispatchedAt simkit.Time // when the current stint on CPU began
+	lastAccount  simkit.Time // last time CPU accounting ran for this thread
+	lastRanAt    simkit.Time // last time it was descheduled (cache-hot test)
+
+	affinity    []bool // nil = any core; else allowed mask by CoreID
+	permit      bool   // LockSupport-style unpark permit
+	parked      bool   // blocked via Park (vs Sleep)
+	wakePending bool   // a wake event is in flight
+	sleepEv     *simkit.Event
+
+	// Statistics.
+	CPUTime    simkit.Time
+	Wakeups    int
+	Migrations int
+	DeepWakes  int
+}
+
+// State returns the thread's current scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// Core returns the thread's current (or, while blocked, last) core.
+func (t *Thread) Core() ostopo.CoreID { return t.core }
+
+// allowed reports whether the thread may run on core c.
+func (t *Thread) allowed(c ostopo.CoreID) bool {
+	return t.affinity == nil || t.affinity[c]
+}
+
+// Env is the interface a thread body uses to interact with the simulated
+// kernel. It is only valid inside the body it was created for.
+type Env struct {
+	T     *Thread
+	yield func(request)
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() simkit.Time { return e.T.k.Sim.Now() }
+
+// Rand returns the simulation RNG.
+func (e *Env) Rand() *rand.Rand { return e.T.k.Sim.Rand() }
+
+// Kernel returns the kernel this thread runs on.
+func (e *Env) Kernel() *Kernel { return e.T.k }
+
+// Core returns the core the thread is currently running on.
+func (e *Env) Core() ostopo.CoreID { return e.T.core }
+
+// Compute consumes d nanoseconds of CPU work. The thread may be preempted
+// and migrated while computing; Compute returns once the work is done.
+func (e *Env) Compute(d simkit.Time) {
+	if d <= 0 {
+		return
+	}
+	e.yield(reqCompute{d})
+}
+
+// Sleep blocks the thread for d nanoseconds of virtual time.
+func (e *Env) Sleep(d simkit.Time) {
+	if d <= 0 {
+		return
+	}
+	e.yield(reqSleep{d})
+}
+
+// Park blocks the thread until another thread calls Kernel.Unpark on it.
+// Like java.util.concurrent.LockSupport, an Unpark that arrives while the
+// thread is not parked stores a permit that makes the next Park return
+// immediately.
+func (e *Env) Park() {
+	if e.T.permit {
+		e.T.permit = false
+		return
+	}
+	e.yield(reqPark{})
+}
+
+// YieldCPU gives up the CPU (sched_yield). If other threads are runnable on
+// this core, one of them is dispatched.
+func (e *Env) YieldCPU() { e.yield(reqYield{}) }
+
+// SetAffinity binds the thread to the given cores (empty clears the mask,
+// allowing all cores). If the thread is currently on a disallowed core it
+// migrates immediately.
+func (e *Env) SetAffinity(cores ...ostopo.CoreID) {
+	t := e.T
+	if len(cores) == 0 {
+		t.affinity = nil
+		return
+	}
+	mask := make([]bool, t.k.Topo.NumCPUs())
+	ok := false
+	for _, c := range cores {
+		if int(c) >= 0 && int(c) < len(mask) {
+			mask[c] = true
+			ok = true
+		}
+	}
+	if !ok {
+		return
+	}
+	t.affinity = mask
+	if !t.allowed(t.core) {
+		e.yield(reqMigrate{})
+	}
+}

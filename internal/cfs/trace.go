@@ -1,0 +1,82 @@
+package cfs
+
+import (
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// Segment is one contiguous stretch of a thread running on a core.
+type Segment struct {
+	Core   ostopo.CoreID
+	Thread *Thread
+	Start  simkit.Time
+	End    simkit.Time
+}
+
+// Trace records per-core execution segments. Enable it with
+// Kernel.SetTrace before spawning threads; the overhead is one append per
+// dispatch. Traces power the scheduling-timeline visualization
+// (internal/schedtrace) and the kernel's invariant tests.
+type Trace struct {
+	Segments []Segment
+	open     map[ostopo.CoreID]int // core -> index of its open segment
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace {
+	return &Trace{open: make(map[ostopo.CoreID]int)}
+}
+
+func (tr *Trace) onDispatch(c ostopo.CoreID, t *Thread, now simkit.Time) {
+	tr.Segments = append(tr.Segments, Segment{Core: c, Thread: t, Start: now, End: -1})
+	tr.open[c] = len(tr.Segments) - 1
+}
+
+func (tr *Trace) onDeschedule(c ostopo.CoreID, now simkit.Time) {
+	if i, ok := tr.open[c]; ok {
+		tr.Segments[i].End = now
+		delete(tr.open, c)
+	}
+}
+
+// CloseOpen ends all still-open segments at time now (call when the
+// simulation stops mid-flight).
+func (tr *Trace) CloseOpen(now simkit.Time) {
+	for c, i := range tr.open {
+		tr.Segments[i].End = now
+		delete(tr.open, c)
+	}
+}
+
+// Window returns the segments overlapping [from, to).
+func (tr *Trace) Window(from, to simkit.Time) []Segment {
+	var out []Segment
+	for _, s := range tr.Segments {
+		end := s.End
+		if end < 0 {
+			end = to
+		}
+		if s.Start < to && end > from {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// BusyTime sums the recorded run time of a thread (equals the thread's
+// CPUTime once all segments are closed).
+func (tr *Trace) BusyTime(t *Thread) simkit.Time {
+	var sum simkit.Time
+	for _, s := range tr.Segments {
+		if s.Thread == t && s.End >= 0 {
+			sum += s.End - s.Start
+		}
+	}
+	return sum
+}
+
+// SetTrace installs (or removes, with nil) a trace on the kernel.
+func (k *Kernel) SetTrace(tr *Trace) { k.trace = tr }
+
+// TraceOf returns the kernel's installed trace, if any.
+func (k *Kernel) TraceOf() *Trace { return k.trace }

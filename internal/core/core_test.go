@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// quick returns a fast-running custom profile for API tests.
+func quick() Profile {
+	p := workload.Lusearch()
+	p.TotalItems = 2000
+	return p
+}
+
+func TestRunByBenchmarkName(t *testing.T) {
+	r, err := Run(Config{Benchmark: "jython", Profile: Profile{}, Mutators: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark != "jython" || r.MinorGCs == 0 {
+		t.Errorf("unexpected result: %s, %d GCs", r.Benchmark, r.MinorGCs)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := Run(Config{Benchmark: "nope"}); err == nil {
+		t.Error("Run accepted unknown benchmark")
+	}
+}
+
+func TestRunCustomProfile(t *testing.T) {
+	r, err := Run(Config{Profile: quick(), Mutators: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalTime <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestCompareShowsImprovement(t *testing.T) {
+	van, opt, err := Compare(Config{Profile: quick(), Mutators: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.GCTime >= van.GCTime {
+		t.Errorf("optimized GC %v not better than vanilla %v", opt.GCTime, van.GCTime)
+	}
+}
+
+func TestOptimizationLevels(t *testing.T) {
+	for _, o := range []Optimizations{OptNone, OptAffinity, OptSteal, OptAll} {
+		r, err := Run(Config{Profile: quick(), Mutators: 16, Optimizations: o, Seed: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", o, err)
+		}
+		if r.MinorGCs == 0 {
+			t.Errorf("%v: no GCs", o)
+		}
+		if o.String() == "" {
+			t.Error("empty optimization name")
+		}
+	}
+	if Optimizations(9).String() != "Optimizations(9)" {
+		t.Error("unknown Optimizations String wrong")
+	}
+}
+
+func TestBenchmarksCatalog(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 20 { // 10 Table-1 + 9 HiBench variants + cassandra
+		t.Errorf("Benchmarks() returned %d entries, want 20", len(bs))
+	}
+	names := map[string]bool{}
+	for _, b := range bs {
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+}
+
+func TestExperimentsCatalogAndRun(t *testing.T) {
+	es := Experiments()
+	if len(es) != 20 {
+		t.Errorf("Experiments() returned %d entries, want 20", len(es))
+	}
+	r, err := RunExperiment("fig4", 7, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) == 0 || r.String() == "" {
+		t.Error("experiment produced no output")
+	}
+	if _, err := RunExperiment("nope", 7, 20); err == nil {
+		t.Error("RunExperiment accepted unknown id")
+	}
+}
+
+func TestSMTAndBusyLoopKnobs(t *testing.T) {
+	r, err := Run(Config{Profile: quick(), Mutators: 16, SMT: true, BusyLoops: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinorGCs == 0 {
+		t.Error("no GCs with SMT+interference")
+	}
+}
+
+func TestServerConfig(t *testing.T) {
+	r, err := Run(Config{Benchmark: "cassandra", Mutators: 8, Clients: 16, Requests: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency.N() != 500 {
+		t.Errorf("answered %d requests, want 500", r.Latency.N())
+	}
+}
+
+func TestKnobCatalogs(t *testing.T) {
+	if len(AffinityModes) != 4 || len(StealPolicies) != 4 || len(MutexPolicies) != 4 {
+		t.Error("knob catalogs incomplete")
+	}
+}

@@ -1,0 +1,193 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3, §5) on the simulated testbed. Each experiment returns a
+// Result holding plain-text tables whose rows mirror the paper's series;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// All experiments are deterministic given Options.Seed. Options.Scale
+// divides the workloads' item counts so quick runs (tests, benchmarks)
+// finish fast; Scale=1 reproduces the full configuration.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/jvm"
+	"repro/internal/simkit"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configure an experiment run.
+type Options struct {
+	// Seed drives all randomness (default 42).
+	Seed int64
+	// Scale divides batch workloads' TotalItems and server request counts
+	// (1 = the full evaluation configuration; tests use 4-10).
+	Scale int
+}
+
+func (o Options) norm() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaled returns the profile with its work divided by the scale factor.
+func (o Options) scaled(p workload.Profile) workload.Profile {
+	if p.TotalItems > 0 {
+		p.TotalItems /= o.Scale
+		if p.TotalItems < 200 {
+			p.TotalItems = 200
+		}
+	}
+	return p
+}
+
+func (o Options) requests(full int) int {
+	r := full / o.Scale
+	if r < 300 {
+		r = 300
+	}
+	return r
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// Render writes the experiment's tables and notes to w.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+	}
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes each of the experiment's tables as a CSV file named
+// <id>-<n>.csv under dir.
+func (r *Result) WriteCSV(dir string) error {
+	for i, t := range r.Tables {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s-%d.csv", r.ID, i)))
+		if err != nil {
+			return err
+		}
+		err = t.RenderCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *Result
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3a", "Impact of GC: DaCapo time breakdown vs mutators", Fig3a},
+		{"fig3b", "Impact of GC: kmeans small/large vs mutators", Fig3b},
+		{"fig3c", "GC scalability vs number of GC threads", Fig3c},
+		{"fig3d", "Cassandra read latency and GC ratio vs clients", Fig3d},
+		{"fig4", "Task and thread load imbalance (vanilla lusearch)", Fig4},
+		{"fig5", "Lock acquisition trace: unfair mutex dynamics (§3.2)", Fig5},
+		{"fig6", "Decomposition of minor GC time", Fig6},
+		{"tab1", "Total and failed steal attempts (steal_best_of_2)", Table1},
+		{"fig8", "Improved thread and task balance (optimized lusearch)", Fig8},
+		{"fig9", "Steal attempts and failure rate: default vs optimized", Fig9},
+		{"fig10", "Overall and GC improvement on DaCapo and SPECjvm2008", Fig10},
+		{"fig11", "Comparison with NUMA node affinity and NUMA-aware stealing", Fig11},
+		{"fig12", "Overall and GC scalability (DaCapo, 1-16 mutators)", Fig12},
+		{"fig13", "Application results: Spark jobs and Cassandra latency", Fig13},
+		{"fig14", "Heap-size sweeps: lusearch and kmeans", Fig14},
+		{"fig15", "Multi-application environments", Fig15},
+		{"fig16", "Effect of simultaneous multithreading", Fig16},
+		{"abl1", "Ablation: rejected mutex fixes vs thread affinity (§4.1)", AblationMutex},
+		{"abl2", "Ablation: stealing policies incl. SmartStealing (§6.1)", AblationSteal},
+		{"abl3", "Ablation: NUMA memory-locality cost model (extension)", AblationNUMA},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, idList())
+}
+
+func idList() string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
+}
+
+// --- shared helpers ---------------------------------------------------------
+
+// run executes one JVM configuration; failures panic (experiments are
+// expected to be well-formed; the CLI recovers).
+func run(opt Options, cfg jvm.Config, seedOff int64, busy int) *jvm.Result {
+	cfg.Seed = opt.Seed + seedOff
+	r, err := jvm.Run(jvm.RunSpec{Config: cfg, Seed: opt.Seed + seedOff, BusyLoops: busy})
+	if err != nil {
+		panic(fmt.Sprintf("experiment run failed: %v", err))
+	}
+	return r
+}
+
+func ms(t simkit.Time) float64 { return t.Millis() }
+
+// fourConfigs returns the paper's Fig. 10 configuration ladder.
+func fourConfigs(base jvm.Config) []struct {
+	Name string
+	Cfg  jvm.Config
+} {
+	return []struct {
+		Name string
+		Cfg  jvm.Config
+	}{
+		{"vanilla", base},
+		{"w/ GC-affinity", base.WithAffinityOnly()},
+		{"w/ steal", base.WithStealOnly()},
+		{"together", base.WithOptimizations()},
+	}
+}

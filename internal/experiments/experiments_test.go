@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// quick options keep experiment tests fast.
+func quick() Options { return Options{Seed: 7, Scale: 20} }
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{
+		"fig3a", "fig3b", "fig3c", "fig3d", "fig4", "fig5", "fig6", "tab1",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "abl1", "abl2", "abl3",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("catalog has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("catalog[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete entry", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig10")
+	if err != nil || e.ID != "fig10" {
+		t.Errorf("ByID(fig10) = (%v, %v)", e.ID, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.norm()
+	if o.Seed != 42 || o.Scale != 1 {
+		t.Errorf("norm() = %+v, want seed 42 scale 1", o)
+	}
+}
+
+func TestScaledFloorsItems(t *testing.T) {
+	o := Options{Scale: 1000}.norm()
+	p := o.scaled(profileWithItems(5000))
+	if p.TotalItems != 200 {
+		t.Errorf("scaled floor = %d, want 200", p.TotalItems)
+	}
+	if o.requests(1000) != 300 {
+		t.Errorf("requests floor = %d, want 300", o.requests(1000))
+	}
+}
+
+func TestFig4VersusFig8Balance(t *testing.T) {
+	// The headline qualitative result: optimized lusearch uses far more
+	// cores and spreads root tasks over far more threads than vanilla.
+	f4 := Fig4(quick())
+	f8 := Fig8(quick())
+	if len(f4.Tables) != 3 || len(f8.Tables) != 3 {
+		t.Fatalf("distribution experiments returned %d/%d tables", len(f4.Tables), len(f8.Tables))
+	}
+	v := f4.String()
+	o := f8.String()
+	if !strings.Contains(v, "balance summary") || !strings.Contains(o, "balance summary") {
+		t.Error("missing balance summary tables")
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	r := Table1(quick())
+	out := r.String()
+	for _, name := range []string{"h2", "jython", "lusearch", "sunflow", "xalan",
+		"compiler.compiler", "compress", "crypto.signverify", "xml.transform", "xml.validation"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing row for %s", name)
+		}
+	}
+}
+
+func TestFig6SharesSumToOne(t *testing.T) {
+	r := Fig6(quick())
+	// Parse is overkill; sanity: the table rendered and mentions the phase
+	// columns of the paper's figure.
+	out := r.String()
+	for _, col := range []string{"init", "steal(steal)", "steal(term)", "other-tasks", "final-sync"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("Fig 6 missing column %s", col)
+		}
+	}
+}
+
+func TestFig10Structure(t *testing.T) {
+	r := Fig10(quick())
+	if len(r.Tables) != 3 {
+		t.Fatalf("fig10 produced %d tables, want 3 (a, b, c)", len(r.Tables))
+	}
+	out := r.String()
+	for _, s := range []string{"DaCapo execution time", "SPECjvm2008 throughput", "GC time relative"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("fig10 missing table %q", s)
+		}
+	}
+}
+
+func TestRenderIncludesNotes(t *testing.T) {
+	r := &Result{ID: "x", Title: "T", Notes: []string{"hello"}}
+	if !strings.Contains(r.String(), "note: hello") {
+		t.Error("notes not rendered")
+	}
+}
+
+func profileWithItems(n int) workload.Profile {
+	p := workload.Lusearch()
+	p.TotalItems = n
+	return p
+}
+
+func TestFig5LockTraceShowsUnfairness(t *testing.T) {
+	r := Fig5(quick())
+	out := r.String()
+	if !strings.Contains(out, "owner-reacquire-fraction") {
+		t.Fatalf("fig5 missing summary:\n%s", out)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("fig5 produced %d tables, want 2", len(r.Tables))
+	}
+}

@@ -1,0 +1,109 @@
+package gclog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/pscavenge"
+	"repro/internal/simkit"
+)
+
+func minorReport() *pscavenge.GCReport {
+	return &pscavenge.GCReport{
+		Kind: pscavenge.Minor, Seq: 3,
+		Start: 254 * simkit.Millisecond, End: 255 * simkit.Millisecond,
+		CopiedObjects: 1200, PromotedObjects: 40, FreedBytes: 900 * 1024,
+		StealAttempts: 100, StealFailures: 90,
+		Before: pscavenge.HeapSnapshot{
+			EdenUsed: 1700 * 1024, FromUsed: 60 * 1024, OldUsed: 3100 * 1024,
+			EdenCap: 1960 * 1024, SurvivorCap: 245 * 1024, OldCap: 4900 * 1024,
+		},
+		After: pscavenge.HeapSnapshot{
+			EdenUsed: 0, FromUsed: 240 * 1024, OldUsed: 3120 * 1024,
+			EdenCap: 1960 * 1024, SurvivorCap: 245 * 1024, OldCap: 4900 * 1024,
+		},
+	}
+}
+
+func majorReport() *pscavenge.GCReport {
+	r := minorReport()
+	r.Kind = pscavenge.Major
+	r.Seq = 4
+	r.After.OldUsed = 2000 * 1024
+	return r
+}
+
+func TestFormatMinor(t *testing.T) {
+	out := Format(minorReport())
+	for _, want := range []string{
+		"0.254: [GC (Allocation Failure)",
+		"[PSYoungGen: 1760K->240K(2205K)]",
+		"4860K->3360K(7350K)",
+		"0.0010000 secs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatMajor(t *testing.T) {
+	out := Format(majorReport())
+	for _, want := range []string{
+		"[Full GC (Ergonomics)",
+		"[ParOldGen: 3100K->2000K(4900K)]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteIncludesHeapSummary(t *testing.T) {
+	var b bytes.Buffer
+	Write(&b, []*pscavenge.GCReport{minorReport(), majorReport()})
+	out := b.String()
+	if strings.Count(out, "\n") < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	for _, want := range []string{"Heap after GC invocations=2", "PSYoungGen", "ParOldGen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var b bytes.Buffer
+	Write(&b, nil)
+	if b.Len() != 0 {
+		t.Errorf("Write(nil) produced output: %q", b.String())
+	}
+}
+
+func TestToEntryAndJSON(t *testing.T) {
+	rep := minorReport()
+	e := ToEntry(rep)
+	if e.Kind != "minor" || e.Seq != 3 {
+		t.Errorf("entry header wrong: %+v", e)
+	}
+	if e.YoungBeforeK != 1760 || e.YoungAfterK != 240 {
+		t.Errorf("young occupancy wrong: %+v", e)
+	}
+	if e.PauseSec != 0.001 {
+		t.Errorf("PauseSec = %v, want 0.001", e.PauseSec)
+	}
+	var b bytes.Buffer
+	if err := WriteJSON(&b, []*pscavenge.GCReport{rep, majorReport()}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Entry
+	if err := json.Unmarshal(b.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != 2 || decoded[1].Kind != "major" {
+		t.Errorf("JSON roundtrip wrong: %+v", decoded)
+	}
+}

@@ -1,0 +1,543 @@
+// Package heap implements a generational Java-style heap: an eden space,
+// two survivor semispaces (from/to), and an old generation, with object
+// ages, tenuring, a remembered set maintained by a write barrier, and the
+// bookkeeping a scavenging collector needs (§2.1 of the paper).
+//
+// Object identity is stable: a "copy" during scavenging retags the object's
+// space rather than moving bytes, so references never need rewriting. The
+// collector still pays the copying *cost* (the cost model lives in package
+// pscavenge); what matters for fidelity here is the reachability and
+// promotion behaviour, which is real.
+package heap
+
+import "fmt"
+
+// ObjID identifies a heap object. 0 is the nil reference.
+type ObjID int32
+
+// Space tags which space an object currently lives in.
+type Space uint8
+
+const (
+	// SpaceNone marks a free (dead) object slot.
+	SpaceNone Space = iota
+	// SpaceEden is the allocation space of the young generation.
+	SpaceEden
+	// SpaceFrom is the occupied survivor semispace.
+	SpaceFrom
+	// SpaceTo is the empty survivor semispace (only populated during GC).
+	SpaceTo
+	// SpaceOld is the old (tenured) generation.
+	SpaceOld
+)
+
+func (s Space) String() string {
+	switch s {
+	case SpaceNone:
+		return "free"
+	case SpaceEden:
+		return "eden"
+	case SpaceFrom:
+		return "from"
+	case SpaceTo:
+		return "to"
+	case SpaceOld:
+		return "old"
+	}
+	return fmt.Sprintf("Space(%d)", uint8(s))
+}
+
+// Object is a heap object. Size is in (model) bytes. Node is the NUMA
+// node whose memory backs the object (set from the allocating thread's
+// node; updated when a GC thread copies it).
+type Object struct {
+	Size  int32
+	Age   uint8
+	Space Space
+	Node  uint8
+	Refs  []ObjID
+	InRS  bool   // old object registered in the remembered set
+	mark  uint32 // GC epoch visited stamp
+}
+
+// Config sizes the heap. All byte figures are model bytes.
+type Config struct {
+	EdenBytes     int64
+	SurvivorBytes int64 // each survivor semispace
+	OldBytes      int64
+	TenureAge     uint8 // promote to old after surviving this many minor GCs
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.EdenBytes <= 0 || c.SurvivorBytes <= 0 || c.OldBytes <= 0 {
+		return fmt.Errorf("heap: all space sizes must be positive: %+v", c)
+	}
+	if c.TenureAge == 0 {
+		return fmt.Errorf("heap: TenureAge must be >= 1")
+	}
+	return nil
+}
+
+// Stats tracks cumulative heap activity.
+type Stats struct {
+	AllocatedObjects int64
+	AllocatedBytes   int64
+	PromotedObjects  int64
+	PromotedBytes    int64
+	SurvivedObjects  int64
+	FreedYoungBytes  int64
+	FreedOldBytes    int64
+	BarrierHits      int64 // old→young pointer stores (remembered-set adds)
+}
+
+// Heap is a generational heap instance. It is not safe for concurrent use;
+// within the simulation, GC threads interleave deterministically.
+type Heap struct {
+	cfg  Config
+	objs []Object
+	free []ObjID
+
+	edenUsed, fromUsed, toUsed, oldUsed int64
+
+	eden []ObjID // objects currently in eden
+	from []ObjID // objects currently in the from-survivor space
+	to   []ObjID // objects copied to the to-space during the current GC
+	old  []ObjID // objects in the old generation
+
+	remembered []ObjID // old objects that may hold young refs (dedup by InRS)
+
+	allocNode uint8 // NUMA node tag for new allocations
+
+	epoch     uint32
+	inMinorGC bool
+
+	Stats Stats
+}
+
+// New creates a heap.
+func New(cfg Config) (*Heap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Heap{cfg: cfg}
+	h.objs = make([]Object, 1, 1024) // slot 0 is the nil object
+	return h, nil
+}
+
+// Config returns the heap's configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// SetConfig replaces the space sizes (used by adaptive resizing between
+// GCs). Shrinking below current occupancy is rejected.
+func (h *Heap) SetConfig(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.EdenBytes < h.edenUsed || cfg.SurvivorBytes < h.fromUsed || cfg.OldBytes < h.oldUsed {
+		return fmt.Errorf("heap: cannot shrink below occupancy")
+	}
+	h.cfg = cfg
+	return nil
+}
+
+// Usage returns current occupancy of eden, from-survivor and old spaces.
+func (h *Heap) Usage() (eden, from, old int64) { return h.edenUsed, h.fromUsed, h.oldUsed }
+
+// Get returns the object for id. The pointer is invalidated by frees.
+func (h *Heap) Get(id ObjID) *Object { return &h.objs[id] }
+
+// LiveObjects returns the number of live (non-free) objects.
+func (h *Heap) LiveObjects() int {
+	return len(h.eden) + len(h.from) + len(h.to) + len(h.old)
+}
+
+// EdenFull reports whether an allocation of size bytes would overflow eden.
+func (h *Heap) EdenFull(size int32) bool { return h.edenUsed+int64(size) > h.cfg.EdenBytes }
+
+// OldOccupancy returns the old generation's fill fraction.
+func (h *Heap) OldOccupancy() float64 { return float64(h.oldUsed) / float64(h.cfg.OldBytes) }
+
+// SetAllocNode tags subsequent allocations with the NUMA node whose local
+// memory backs them (first-touch policy: the allocating thread's node).
+func (h *Heap) SetAllocNode(node int) {
+	if node >= 0 && node < 256 {
+		h.allocNode = uint8(node)
+	}
+}
+
+// Alloc allocates a new object of the given size in eden, referencing refs.
+// It returns false when eden is full (a minor GC is needed first).
+func (h *Heap) Alloc(size int32, refs ...ObjID) (ObjID, bool) {
+	if size <= 0 {
+		panic("heap: Alloc with non-positive size")
+	}
+	if h.edenUsed+int64(size) > h.cfg.EdenBytes {
+		return 0, false
+	}
+	id := h.newObject(size, SpaceEden)
+	h.eden = append(h.eden, id)
+	h.edenUsed += int64(size)
+	o := &h.objs[id]
+	o.Refs = append(o.Refs, refs...)
+	return id, true
+}
+
+// AllocOld allocates directly in the old generation (humongous or cached
+// data such as Spark RDD partitions). Returns false when old is full.
+func (h *Heap) AllocOld(size int32, refs ...ObjID) (ObjID, bool) {
+	if size <= 0 {
+		panic("heap: AllocOld with non-positive size")
+	}
+	if h.oldUsed+int64(size) > h.cfg.OldBytes {
+		return 0, false
+	}
+	id := h.newObject(size, SpaceOld)
+	h.old = append(h.old, id)
+	h.oldUsed += int64(size)
+	o := &h.objs[id]
+	for _, r := range refs {
+		o.Refs = append(o.Refs, r)
+		h.barrier(id, r)
+	}
+	return id, true
+}
+
+func (h *Heap) newObject(size int32, sp Space) ObjID {
+	var id ObjID
+	if n := len(h.free); n > 0 {
+		id = h.free[n-1]
+		h.free = h.free[:n-1]
+		o := &h.objs[id]
+		*o = Object{Size: size, Space: sp, Node: h.allocNode, Refs: o.Refs[:0]}
+	} else {
+		h.objs = append(h.objs, Object{Size: size, Space: sp, Node: h.allocNode})
+		id = ObjID(len(h.objs) - 1)
+	}
+	h.Stats.AllocatedObjects++
+	h.Stats.AllocatedBytes += int64(size)
+	return id
+}
+
+// AddRef appends a reference from parent to child, applying the write
+// barrier (old parent + young child → remembered set).
+func (h *Heap) AddRef(parent, child ObjID) {
+	if parent == 0 || child == 0 {
+		return
+	}
+	p := &h.objs[parent]
+	p.Refs = append(p.Refs, child)
+	h.barrier(parent, child)
+}
+
+// SetRef overwrites reference slot i of parent, applying the write barrier.
+func (h *Heap) SetRef(parent ObjID, i int, child ObjID) {
+	p := &h.objs[parent]
+	p.Refs[i] = child
+	if child != 0 {
+		h.barrier(parent, child)
+	}
+}
+
+// ClearRefs drops all outgoing references of an object (e.g. a mutator
+// releasing a transient data structure).
+func (h *Heap) ClearRefs(id ObjID) {
+	if id == 0 {
+		return
+	}
+	h.objs[id].Refs = h.objs[id].Refs[:0]
+}
+
+func (h *Heap) barrier(parent, child ObjID) {
+	p := &h.objs[parent]
+	if p.Space != SpaceOld || p.InRS {
+		return
+	}
+	c := &h.objs[child]
+	if c.Space == SpaceEden || c.Space == SpaceFrom || c.Space == SpaceTo {
+		p.InRS = true
+		h.remembered = append(h.remembered, parent)
+		h.Stats.BarrierHits++
+	}
+}
+
+// RememberedSet returns the old objects registered as possibly holding
+// young references, in deterministic (insertion) order.
+func (h *Heap) RememberedSet() []ObjID { return h.remembered }
+
+// AgeTable returns survivor-space bytes by object age (index = age), the
+// input to HotSpot's adaptive tenuring-threshold computation.
+func (h *Heap) AgeTable() []int64 {
+	table := make([]int64, 16)
+	for _, id := range h.from {
+		o := &h.objs[id]
+		age := int(o.Age)
+		if age > 15 {
+			age = 15
+		}
+		table[age] += int64(o.Size)
+	}
+	return table
+}
+
+// young reports whether an object currently lives in the young generation.
+func (h *Heap) young(id ObjID) bool {
+	sp := h.objs[id].Space
+	return sp == SpaceEden || sp == SpaceFrom
+}
+
+// --- Minor (scavenge) GC support -----------------------------------------
+
+// BeginMinorGC starts a scavenge cycle: a fresh visited epoch and an empty
+// to-space. Collector threads then call CopyYoung on reachable objects.
+func (h *Heap) BeginMinorGC() {
+	if h.inMinorGC {
+		panic("heap: nested BeginMinorGC")
+	}
+	h.inMinorGC = true
+	h.epoch++
+	h.to = h.to[:0]
+	h.toUsed = 0
+}
+
+// Visited reports whether id was already processed in this GC cycle.
+func (h *Heap) Visited(id ObjID) bool { return h.objs[id].mark == h.epoch }
+
+// CopyYoung processes one young object during a scavenge: it "copies" the
+// object to the to-space (incrementing its age) or promotes it to the old
+// generation when it has reached tenure age or the to-space is full. It
+// returns the object's size (the copy cost driver), whether the object was
+// promoted, and whether this call was the first visit.
+func (h *Heap) CopyYoung(id ObjID) (size int32, promoted, first bool) {
+	if !h.inMinorGC {
+		panic("heap: CopyYoung outside a minor GC")
+	}
+	o := &h.objs[id]
+	if o.mark == h.epoch {
+		return o.Size, o.Space == SpaceOld, false
+	}
+	if o.Space != SpaceEden && o.Space != SpaceFrom {
+		// Old (or already-moved) objects are not scavenged.
+		o.mark = h.epoch
+		return o.Size, o.Space == SpaceOld, false
+	}
+	o.mark = h.epoch
+	sz := int64(o.Size)
+	if o.Age+1 >= h.cfg.TenureAge || h.toUsed+sz > h.cfg.SurvivorBytes {
+		// Promote. The old generation may transiently overflow; the
+		// caller watches OldOccupancy and schedules a major GC.
+		o.Space = SpaceOld
+		o.Age = 0
+		h.old = append(h.old, id)
+		h.oldUsed += sz
+		h.Stats.PromotedObjects++
+		h.Stats.PromotedBytes += sz
+		// A promoted object with young children must enter the RS.
+		for _, r := range o.Refs {
+			if r != 0 {
+				h.barrier(id, r)
+			}
+		}
+		return o.Size, true, true
+	}
+	o.Space = SpaceTo
+	o.Age++
+	h.to = append(h.to, id)
+	h.toUsed += sz
+	h.Stats.SurvivedObjects++
+	return o.Size, false, true
+}
+
+// FinishMinorGC sweeps eden and the from-space (everything unvisited is
+// garbage), swaps the survivor semispaces, and prunes the remembered set.
+// It returns the number of bytes freed.
+func (h *Heap) FinishMinorGC() int64 {
+	if !h.inMinorGC {
+		panic("heap: FinishMinorGC without BeginMinorGC")
+	}
+	var freed int64
+	for _, id := range h.eden {
+		if o := &h.objs[id]; o.Space == SpaceEden {
+			freed += int64(o.Size)
+			h.release(id)
+		}
+	}
+	for _, id := range h.from {
+		if o := &h.objs[id]; o.Space == SpaceFrom {
+			freed += int64(o.Size)
+			h.release(id)
+		}
+	}
+	h.eden = h.eden[:0]
+	h.edenUsed = 0
+	// Swap semispaces: to becomes from.
+	for _, id := range h.to {
+		h.objs[id].Space = SpaceFrom
+	}
+	h.from, h.to = h.to, h.from[:0]
+	h.fromUsed = h.toUsed
+	h.toUsed = 0
+	h.Stats.FreedYoungBytes += freed
+	h.pruneRememberedSet()
+	h.inMinorGC = false
+	return freed
+}
+
+// pruneRememberedSet drops RS entries that died or no longer reference the
+// young generation.
+func (h *Heap) pruneRememberedSet() {
+	live := h.remembered[:0]
+	for _, id := range h.remembered {
+		o := &h.objs[id]
+		if o.Space != SpaceOld {
+			o.InRS = false
+			continue
+		}
+		keep := false
+		for _, r := range o.Refs {
+			if r != 0 && h.young(r) {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			live = append(live, id)
+		} else {
+			o.InRS = false
+		}
+	}
+	h.remembered = live
+}
+
+// --- Major (full) GC support ----------------------------------------------
+
+// BeginMajorGC starts a full-heap mark cycle with a fresh epoch.
+func (h *Heap) BeginMajorGC() {
+	h.epoch++
+}
+
+// Mark marks one object live in the major GC, returning (size, first visit).
+func (h *Heap) Mark(id ObjID) (int32, bool) {
+	o := &h.objs[id]
+	if o.mark == h.epoch {
+		return o.Size, false
+	}
+	o.mark = h.epoch
+	return o.Size, true
+}
+
+// FinishMajorGC sweeps every unmarked object in all spaces (a full GC in
+// Parallel Scavenge collects the whole heap) and returns (bytes freed from
+// old, live bytes in old) — the inputs to the compaction cost model.
+func (h *Heap) FinishMajorGC() (freedOld, liveOld int64) {
+	sweep := func(list []ObjID, used *int64, freed *int64) []ObjID {
+		out := list[:0]
+		for _, id := range list {
+			o := &h.objs[id]
+			if o.mark == h.epoch {
+				out = append(out, id)
+				continue
+			}
+			*used -= int64(o.Size)
+			*freed += int64(o.Size)
+			h.release(id)
+		}
+		return out
+	}
+	var freedYoung int64
+	h.eden = sweep(h.eden, &h.edenUsed, &freedYoung)
+	h.from = sweep(h.from, &h.fromUsed, &freedYoung)
+	h.old = sweep(h.old, &h.oldUsed, &freedOld)
+	h.Stats.FreedYoungBytes += freedYoung
+	h.Stats.FreedOldBytes += freedOld
+	h.pruneRememberedSet()
+	return freedOld, h.oldUsed
+}
+
+func (h *Heap) release(id ObjID) {
+	o := &h.objs[id]
+	o.Space = SpaceNone
+	o.Age = 0
+	o.InRS = false
+	o.Refs = o.Refs[:0]
+	h.free = append(h.free, id)
+}
+
+// --- Verification helpers (used by tests as an oracle) ---------------------
+
+// ReachableFrom returns the set of objects reachable from the given roots,
+// as a map. It is the sequential oracle the parallel collector is checked
+// against.
+func (h *Heap) ReachableFrom(roots []ObjID) map[ObjID]bool {
+	seen := make(map[ObjID]bool)
+	stack := make([]ObjID, 0, len(roots))
+	for _, r := range roots {
+		if r != 0 && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range h.objs[id].Refs {
+			if r != 0 && !seen[r] {
+				seen[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+	return seen
+}
+
+// CheckInvariants verifies internal accounting; tests call it after
+// operations. It returns an error describing the first violation.
+func (h *Heap) CheckInvariants() error {
+	var eden, from, to, old int64
+	count := map[Space]int{}
+	for id := 1; id < len(h.objs); id++ {
+		o := &h.objs[id]
+		count[o.Space]++
+		switch o.Space {
+		case SpaceEden:
+			eden += int64(o.Size)
+		case SpaceFrom:
+			from += int64(o.Size)
+		case SpaceTo:
+			to += int64(o.Size)
+		case SpaceOld:
+			old += int64(o.Size)
+		}
+	}
+	if eden != h.edenUsed {
+		return fmt.Errorf("edenUsed=%d but objects sum to %d", h.edenUsed, eden)
+	}
+	if from != h.fromUsed {
+		return fmt.Errorf("fromUsed=%d but objects sum to %d", h.fromUsed, from)
+	}
+	if to != h.toUsed {
+		return fmt.Errorf("toUsed=%d but objects sum to %d", h.toUsed, to)
+	}
+	if old != h.oldUsed {
+		return fmt.Errorf("oldUsed=%d but objects sum to %d", h.oldUsed, old)
+	}
+	if count[SpaceEden] != len(h.eden) {
+		return fmt.Errorf("eden list has %d entries, %d objects tagged eden", len(h.eden), count[SpaceEden])
+	}
+	if count[SpaceOld] != len(h.old) {
+		return fmt.Errorf("old list has %d entries, %d objects tagged old", len(h.old), count[SpaceOld])
+	}
+	// Remembered-set completeness: every old→young edge is covered.
+	for id := 1; id < len(h.objs); id++ {
+		o := &h.objs[id]
+		if o.Space != SpaceOld {
+			continue
+		}
+		for _, r := range o.Refs {
+			if r != 0 && h.young(r) && !o.InRS {
+				return fmt.Errorf("old object %d references young %d but is not in RS", id, r)
+			}
+		}
+	}
+	return nil
+}

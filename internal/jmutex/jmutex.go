@@ -1,0 +1,439 @@
+// Package jmutex models the HotSpot JVM's native monitor (§2.4 of the
+// paper): a mutex with a CAS fast path and a queue-based slow path (cxq,
+// EntryList, OnDeck), a WaitSet condition queue, and the competitive
+// handoff policy. The model reproduces HotSpot's deliberate short-term
+// unfairness:
+//
+//  1. the previous owner may re-acquire the lock through the fast path,
+//     starving the OnDeck thread and the cxq waiters;
+//  2. newly arrived threads can bypass all queued waiters;
+//  3. at most one queued waiter (OnDeck) is ever awake, so blocked waiters
+//     are invisible to OS load balancing.
+//
+// Alternative policies reproduce the fixes the paper tried and rejected in
+// §4.1: a fair FIFO handoff, disabling the fast path, and waking all
+// contenders.
+package jmutex
+
+import (
+	"fmt"
+
+	"repro/internal/cfs"
+	"repro/internal/simkit"
+)
+
+// Policy selects the lock acquisition/handoff discipline.
+type Policy int
+
+const (
+	// PolicyHotSpot is the default HotSpot monitor: CAS fast path with
+	// bypass, single OnDeck heir, competitive handoff.
+	PolicyHotSpot Policy = iota
+	// PolicyFairFIFO hands the lock directly to the oldest waiter; new
+	// arrivals never bypass the queue. (§4.1: "enforcing fair (FIFO) mutex
+	// acquisition".)
+	PolicyFairFIFO
+	// PolicyNoFastPath keeps competitive handoff but disables the bypassing
+	// fast path: arrivals queue behind existing waiters. (§4.1: "disabling
+	// all fast paths in locking".)
+	PolicyNoFastPath
+	// PolicyWakeAll wakes every queued contender at unlock and lets them
+	// race. (§4.1: "allowing multiple active lock contenders".)
+	PolicyWakeAll
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyHotSpot:
+		return "hotspot"
+	case PolicyFairFIFO:
+		return "fair-fifo"
+	case PolicyNoFastPath:
+		return "no-fast-path"
+	case PolicyWakeAll:
+		return "wake-all"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Stats counts lock events for the paper's §3.2 analysis.
+type Stats struct {
+	FastAcquires    int // acquisitions through the CAS fast path
+	SlowAcquires    int // acquisitions after queuing at least once
+	OwnerReacquires int // fast acquisitions by the previous owner
+	Bypasses        int // fast acquisitions that jumped over queued waiters
+	Handoffs        int // acquisitions by the OnDeck heir / FIFO successor
+	Notifies        int
+	ParkEvents      int // times a contender had to park
+	// MaxConcurrentSeekers is the most threads ever simultaneously awake
+	// and competing for the lock (§3.2: at most two during a stacked GC —
+	// the previous owner and the OnDeck thread).
+	MaxConcurrentSeekers int
+}
+
+// AcqEvent records one lock acquisition (when logging is enabled).
+type AcqEvent struct {
+	At        simkit.Time
+	Thread    string
+	Fast      bool // won through the CAS fast path
+	Reacquire bool // the previous owner re-acquired
+	Queued    int  // waiters queued (cxq + EntryList + OnDeck) at that instant
+}
+
+// Monitor is a HotSpot native monitor: mutual exclusion plus a WaitSet.
+type Monitor struct {
+	Name   string
+	k      *cfs.Kernel
+	policy Policy
+
+	owner     *cfs.Thread
+	lastOwner *cfs.Thread
+	cxq       []*cfs.Thread // LIFO: index 0 is the most recent arrival
+	entryList []*cfs.Thread // FIFO: index 0 is the next OnDeck
+	onDeck    *cfs.Thread
+	waitSet   []*cfs.Thread // FIFO
+
+	casCost    simkit.Time
+	unlockCost simkit.Time
+
+	seekers int // threads awake and competing right now
+
+	Stats Stats
+	// RecordLog enables the acquisition log (Log) for §3.2-style traces.
+	RecordLog bool
+	Log       []AcqEvent
+}
+
+// New creates a monitor with the given policy on kernel k.
+func New(k *cfs.Kernel, name string, policy Policy) *Monitor {
+	return &Monitor{
+		Name:       name,
+		k:          k,
+		policy:     policy,
+		casCost:    50 * simkit.Nanosecond,
+		unlockCost: 100 * simkit.Nanosecond,
+	}
+}
+
+// Policy returns the monitor's acquisition policy.
+func (m *Monitor) Policy() Policy { return m.policy }
+
+// Owner returns the current lock holder (nil when free).
+func (m *Monitor) Owner() *cfs.Thread { return m.owner }
+
+// QueuedWaiters returns the number of threads blocked on the lock
+// (cxq + EntryList + OnDeck).
+func (m *Monitor) QueuedWaiters() int {
+	n := len(m.cxq) + len(m.entryList)
+	if m.onDeck != nil {
+		n++
+	}
+	return n
+}
+
+// WaitSetLen returns the number of threads sleeping on the condition.
+func (m *Monitor) WaitSetLen() int { return len(m.waitSet) }
+
+// HeldBy reports whether t owns the monitor.
+func (m *Monitor) HeldBy(t *cfs.Thread) bool { return m.owner == t }
+
+// seek tracks how many contenders are awake and competing (§3.2).
+func (m *Monitor) seek(delta int) {
+	m.seekers += delta
+	if m.seekers > m.Stats.MaxConcurrentSeekers {
+		m.Stats.MaxConcurrentSeekers = m.seekers
+	}
+}
+
+// logAcq appends to the acquisition log when enabled.
+func (m *Monitor) logAcq(e *cfs.Env, fast bool) {
+	if !m.RecordLog {
+		return
+	}
+	m.Log = append(m.Log, AcqEvent{
+		At:        e.Now(),
+		Thread:    e.T.Name,
+		Fast:      fast,
+		Reacquire: m.lastOwner == e.T,
+		Queued:    m.QueuedWaiters(),
+	})
+}
+
+// Lock acquires the monitor, blocking as needed.
+func (m *Monitor) Lock(e *cfs.Env) {
+	t := e.T
+	if m.owner == t {
+		panic("jmutex: recursive Lock on " + m.Name + " by " + t.Name)
+	}
+	m.seek(1)
+	defer m.seek(-1)
+	e.Compute(m.casCost) // the initial CAS attempt
+	switch m.policy {
+	case PolicyHotSpot, PolicyWakeAll:
+		if m.owner == nil {
+			m.Stats.FastAcquires++
+			if m.lastOwner == t {
+				m.Stats.OwnerReacquires++
+			}
+			if m.QueuedWaiters() > 0 {
+				m.Stats.Bypasses++
+			}
+			m.logAcq(e, true)
+			m.owner = t
+			return
+		}
+		m.competitiveSlow(e)
+	case PolicyNoFastPath:
+		if m.owner == nil && m.QueuedWaiters() == 0 {
+			m.Stats.FastAcquires++
+			m.logAcq(e, true)
+			m.owner = t
+			return
+		}
+		m.competitiveSlow(e)
+	case PolicyFairFIFO:
+		if m.owner == nil && m.QueuedWaiters() == 0 {
+			m.Stats.FastAcquires++
+			m.logAcq(e, true)
+			m.owner = t
+			return
+		}
+		m.fifoSlow(e)
+	}
+}
+
+// competitiveSlow queues the thread and retries the CAS whenever it is
+// woken (competitive handoff: being OnDeck grants no ownership).
+func (m *Monitor) competitiveSlow(e *cfs.Env) {
+	t := e.T
+	for {
+		if m.owner == nil {
+			// Won the race. Clear our queue presence.
+			if m.onDeck == t {
+				m.onDeck = nil
+				m.Stats.Handoffs++
+			}
+			m.removeQueued(t)
+			m.logAcq(e, false)
+			m.owner = t
+			m.Stats.SlowAcquires++
+			return
+		}
+		if m.onDeck != t && !m.isQueued(t) {
+			m.cxq = append([]*cfs.Thread{t}, m.cxq...) // push onto cxq head
+		}
+		m.Stats.ParkEvents++
+		m.seek(-1)
+		e.Park()
+		m.seek(1)
+		e.Compute(m.casCost) // retry CAS after wakeup
+	}
+}
+
+// fifoSlow queues the thread; ownership is assigned by the unlocker.
+func (m *Monitor) fifoSlow(e *cfs.Env) {
+	t := e.T
+	m.cxq = append([]*cfs.Thread{t}, m.cxq...)
+	for m.owner != t {
+		m.Stats.ParkEvents++
+		e.Park()
+	}
+	m.Stats.SlowAcquires++
+	m.Stats.Handoffs++
+}
+
+// Unlock releases the monitor and wakes successor(s) per policy.
+func (m *Monitor) Unlock(e *cfs.Env) {
+	if m.owner != e.T {
+		panic("jmutex: Unlock of " + m.Name + " by non-owner " + e.T.Name)
+	}
+	e.Compute(m.unlockCost)
+	m.unlockFrom(e.T)
+}
+
+// unlockFrom implements the release path (shared with Wait).
+func (m *Monitor) unlockFrom(t *cfs.Thread) {
+	m.owner = nil
+	m.lastOwner = t
+	switch m.policy {
+	case PolicyFairFIFO:
+		if next := m.popOldest(); next != nil {
+			m.owner = next // direct handoff
+			m.k.Unpark(next)
+		}
+	case PolicyWakeAll:
+		// Wake everyone; they race for the CAS when scheduled.
+		wake := append([]*cfs.Thread{}, m.entryList...)
+		wake = append(wake, m.cxq...)
+		if m.onDeck != nil {
+			wake = append([]*cfs.Thread{m.onDeck}, wake...)
+		}
+		for _, w := range wake {
+			m.k.Unpark(w)
+		}
+	default: // PolicyHotSpot, PolicyNoFastPath
+		if m.onDeck == nil {
+			if len(m.entryList) == 0 && len(m.cxq) > 0 {
+				// Drain cxq into EntryList, oldest arrival first.
+				for i := len(m.cxq) - 1; i >= 0; i-- {
+					m.entryList = append(m.entryList, m.cxq[i])
+				}
+				m.cxq = nil
+			}
+			if len(m.entryList) > 0 {
+				m.onDeck = m.entryList[0]
+				m.entryList = m.entryList[1:]
+			}
+		}
+		if m.onDeck != nil {
+			// Competitive handoff: wake the heir; it must win the CAS
+			// by itself.
+			m.k.Unpark(m.onDeck)
+		}
+	}
+}
+
+// Wait releases the monitor, sleeps on the WaitSet, and re-acquires after
+// being selected. The owner must hold the lock.
+func (m *Monitor) Wait(e *cfs.Env) {
+	t := e.T
+	if m.owner != t {
+		panic("jmutex: Wait on " + m.Name + " by non-owner " + t.Name)
+	}
+	m.waitSet = append(m.waitSet, t)
+	e.Compute(m.unlockCost)
+	m.unlockFrom(t)
+	// Sleep until this thread is out of the WaitSet AND wins the lock.
+	if m.policy == PolicyFairFIFO {
+		for m.owner != t {
+			m.Stats.ParkEvents++
+			e.Park()
+		}
+		m.Stats.SlowAcquires++
+		return
+	}
+	// HotSpot: a notify moves us to cxq without waking; we are unparked
+	// only when an unlocker selects us as OnDeck (or wake-all fires).
+	for {
+		m.Stats.ParkEvents++
+		e.Park()
+		if m.inWaitSet(t) {
+			continue // spurious permit while still waiting
+		}
+		e.Compute(m.casCost)
+		if m.owner == nil {
+			if m.onDeck == t {
+				m.onDeck = nil
+				m.Stats.Handoffs++
+			}
+			m.removeQueued(t)
+			m.owner = t
+			m.Stats.SlowAcquires++
+			return
+		}
+		if m.onDeck != t && !m.isQueued(t) {
+			m.cxq = append([]*cfs.Thread{t}, m.cxq...)
+		}
+	}
+}
+
+// Notify moves the oldest WaitSet thread to the lock queue (without waking
+// it, per HotSpot). The caller must hold the monitor.
+func (m *Monitor) Notify(e *cfs.Env) {
+	if m.owner != e.T {
+		panic("jmutex: Notify on " + m.Name + " by non-owner " + e.T.Name)
+	}
+	m.Stats.Notifies++
+	if len(m.waitSet) == 0 {
+		return
+	}
+	w := m.waitSet[0]
+	m.waitSet = m.waitSet[1:]
+	m.transferNotified(w)
+}
+
+// NotifyAll moves every WaitSet thread to the lock queue. With the HotSpot
+// policy none of them is woken here — they are transferred asleep and wake
+// one at a time through the unlock chain (§2.4), which is the root of the
+// sequential-wake behaviour during GC startup.
+func (m *Monitor) NotifyAll(e *cfs.Env) {
+	if m.owner != e.T {
+		panic("jmutex: NotifyAll on " + m.Name + " by non-owner " + e.T.Name)
+	}
+	m.Stats.Notifies++
+	ws := m.waitSet
+	m.waitSet = nil
+	for _, w := range ws {
+		m.transferNotified(w)
+	}
+}
+
+func (m *Monitor) transferNotified(w *cfs.Thread) {
+	switch m.policy {
+	case PolicyFairFIFO:
+		m.cxq = append([]*cfs.Thread{w}, m.cxq...)
+	case PolicyWakeAll:
+		m.cxq = append([]*cfs.Thread{w}, m.cxq...)
+		m.k.Unpark(w)
+	default:
+		m.cxq = append([]*cfs.Thread{w}, m.cxq...)
+	}
+}
+
+func (m *Monitor) isQueued(t *cfs.Thread) bool {
+	for _, q := range m.cxq {
+		if q == t {
+			return true
+		}
+	}
+	for _, q := range m.entryList {
+		if q == t {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Monitor) inWaitSet(t *cfs.Thread) bool {
+	for _, q := range m.waitSet {
+		if q == t {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Monitor) removeQueued(t *cfs.Thread) {
+	m.cxq = removeFrom(m.cxq, t)
+	m.entryList = removeFrom(m.entryList, t)
+}
+
+// popOldest removes the oldest queued waiter (EntryList head, else cxq
+// tail), for the FIFO policy.
+func (m *Monitor) popOldest() *cfs.Thread {
+	if m.onDeck != nil {
+		w := m.onDeck
+		m.onDeck = nil
+		return w
+	}
+	if len(m.entryList) > 0 {
+		w := m.entryList[0]
+		m.entryList = m.entryList[1:]
+		return w
+	}
+	if len(m.cxq) > 0 {
+		w := m.cxq[len(m.cxq)-1]
+		m.cxq = m.cxq[:len(m.cxq)-1]
+		return w
+	}
+	return nil
+}
+
+func removeFrom(q []*cfs.Thread, t *cfs.Thread) []*cfs.Thread {
+	for i, v := range q {
+		if v == t {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}

@@ -1,0 +1,408 @@
+package jmutex
+
+import (
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+const (
+	us = simkit.Microsecond
+	ms = simkit.Millisecond
+)
+
+func newKernel(t *testing.T, cores int, seed int64) (*simkit.Sim, *cfs.Kernel) {
+	t.Helper()
+	sim := simkit.New(seed)
+	t.Cleanup(sim.Close)
+	topo := &ostopo.Topology{PhysCores: cores, SMTWays: 1, Nodes: 1}
+	return sim, cfs.NewKernel(sim, topo, cfs.DefaultParams())
+}
+
+func drain(t *testing.T, sim *simkit.Sim, cap simkit.Time, threads ...*cfs.Thread) {
+	t.Helper()
+	for sim.Now() < cap {
+		done := true
+		for _, th := range threads {
+			if th.State() != cfs.StateDone {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		if !sim.Step() {
+			break
+		}
+	}
+	for _, th := range threads {
+		if th.State() != cfs.StateDone {
+			t.Fatalf("thread %s stuck in state %v at %v", th.Name, th.State(), sim.Now())
+		}
+	}
+}
+
+func TestMutualExclusionAllPolicies(t *testing.T) {
+	for _, pol := range []Policy{PolicyHotSpot, PolicyFairFIFO, PolicyNoFastPath, PolicyWakeAll} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			sim, k := newKernel(t, 4, int64(pol)+1)
+			m := New(k, "m", pol)
+			inside := 0
+			violations := 0
+			total := 0
+			var ths []*cfs.Thread
+			for i := 0; i < 6; i++ {
+				core := ostopo.CoreID(i % 4)
+				ths = append(ths, k.Spawn("w", core, func(e *cfs.Env) {
+					for j := 0; j < 25; j++ {
+						m.Lock(e)
+						inside++
+						if inside != 1 {
+							violations++
+						}
+						e.Compute(simkit.Time(10+e.Rand().Intn(40)) * us)
+						total++
+						inside--
+						m.Unlock(e)
+						e.Compute(simkit.Time(e.Rand().Intn(30)) * us)
+					}
+				}))
+			}
+			drain(t, sim, 10*simkit.Second, ths...)
+			if violations != 0 {
+				t.Errorf("%d mutual-exclusion violations", violations)
+			}
+			if total != 150 {
+				t.Errorf("total critical sections = %d, want 150", total)
+			}
+		})
+	}
+}
+
+func TestOwnerReacquisitionOnSharedCore(t *testing.T) {
+	// §3.2: contenders stacked on one core — the previous owner keeps
+	// winning via the fast path; acquisitions concentrate on 1-2 threads.
+	sim, k := newKernel(t, 8, 7)
+	m := New(k, "gc", PolicyHotSpot)
+	const nthreads = 6
+	const tasks = 120
+	acquired := make([]int, nthreads)
+	remaining := tasks
+	var ths []*cfs.Thread
+	for i := 0; i < nthreads; i++ {
+		i := i
+		// All spawned on core 0 (like GC threads) while the rest of the
+		// machine is idle and will be deep idle once contention starts.
+		ths = append(ths, k.Spawn("gc", 0, func(e *cfs.Env) {
+			for {
+				m.Lock(e)
+				if remaining == 0 {
+					m.Unlock(e)
+					return
+				}
+				remaining--
+				acquired[i]++
+				m.Unlock(e)
+				e.Compute(30 * us) // the "GC task" outside the lock
+			}
+		}))
+	}
+	drain(t, sim, 10*simkit.Second, ths...)
+	max := 0
+	for _, a := range acquired {
+		if a > max {
+			max = a
+		}
+	}
+	if max < tasks/2 {
+		t.Errorf("acquisition distribution %v: expected one dominant thread (>%d)", acquired, tasks/2)
+	}
+	if m.Stats.OwnerReacquires < tasks/2 {
+		t.Errorf("OwnerReacquires = %d, want most of %d (unfair fast path)", m.Stats.OwnerReacquires, tasks)
+	}
+}
+
+func TestFairFIFOBalancesAcquisitions(t *testing.T) {
+	sim, k := newKernel(t, 4, 7)
+	m := New(k, "gc", PolicyFairFIFO)
+	const nthreads = 4
+	acquired := make([]int, nthreads)
+	var ths []*cfs.Thread
+	for i := 0; i < nthreads; i++ {
+		i := i
+		ths = append(ths, k.Spawn("w", ostopo.CoreID(i), func(e *cfs.Env) {
+			for j := 0; j < 30; j++ {
+				m.Lock(e)
+				acquired[i]++
+				e.Compute(20 * us)
+				m.Unlock(e)
+				e.Compute(5 * us)
+			}
+		}))
+	}
+	drain(t, sim, 10*simkit.Second, ths...)
+	for i, a := range acquired {
+		if a != 30 {
+			t.Errorf("thread %d acquired %d times, want 30", i, a)
+		}
+	}
+	if m.Stats.Handoffs == 0 {
+		t.Error("FIFO policy recorded no handoffs")
+	}
+}
+
+func TestWaitNotifyAll(t *testing.T) {
+	sim, k := newKernel(t, 4, 3)
+	m := New(k, "cond", PolicyHotSpot)
+	woke := 0
+	var ths []*cfs.Thread
+	for i := 0; i < 5; i++ {
+		ths = append(ths, k.Spawn("waiter", 0, func(e *cfs.Env) {
+			m.Lock(e)
+			m.Wait(e)
+			woke++
+			m.Unlock(e)
+		}))
+	}
+	notifier := k.Spawn("notifier", 1, func(e *cfs.Env) {
+		e.Compute(2 * ms) // let all waiters get onto the WaitSet
+		m.Lock(e)
+		m.NotifyAll(e)
+		m.Unlock(e)
+	})
+	ths = append(ths, notifier)
+	drain(t, sim, 10*simkit.Second, ths...)
+	if woke != 5 {
+		t.Errorf("woke = %d, want 5", woke)
+	}
+	if m.WaitSetLen() != 0 {
+		t.Errorf("WaitSet still has %d threads", m.WaitSetLen())
+	}
+}
+
+func TestNotifySingle(t *testing.T) {
+	sim, k := newKernel(t, 2, 3)
+	m := New(k, "cond", PolicyHotSpot)
+	woke := 0
+	var waiters []*cfs.Thread
+	for i := 0; i < 3; i++ {
+		waiters = append(waiters, k.Spawn("waiter", 0, func(e *cfs.Env) {
+			m.Lock(e)
+			m.Wait(e)
+			woke++
+			m.Unlock(e)
+		}))
+	}
+	notifier := k.Spawn("notifier", 1, func(e *cfs.Env) {
+		e.Compute(1 * ms)
+		m.Lock(e)
+		m.Notify(e)
+		m.Unlock(e)
+	})
+	sim.RunUntil(500 * ms)
+	if woke != 1 {
+		t.Errorf("woke = %d after single Notify, want 1", woke)
+	}
+	if m.WaitSetLen() != 2 {
+		t.Errorf("WaitSet has %d threads, want 2", m.WaitSetLen())
+	}
+	_ = notifier
+	_ = waiters
+}
+
+func TestNotifyAllWakesSequentially(t *testing.T) {
+	// §2.4/§3.2: after NotifyAll, waiters are transferred asleep and only
+	// the unlock chain wakes them, one OnDeck at a time.
+	sim, k := newKernel(t, 8, 3)
+	m := New(k, "gc", PolicyHotSpot)
+	var wakeTimes []simkit.Time
+	var ths []*cfs.Thread
+	for i := 0; i < 6; i++ {
+		ths = append(ths, k.Spawn("gc", 0, func(e *cfs.Env) {
+			m.Lock(e)
+			m.Wait(e)
+			wakeTimes = append(wakeTimes, e.Now())
+			m.Unlock(e)
+			e.Compute(100 * us)
+		}))
+	}
+	vm := k.Spawn("vm", 1, func(e *cfs.Env) {
+		e.Compute(2 * ms)
+		m.Lock(e)
+		m.NotifyAll(e)
+		m.Unlock(e)
+	})
+	ths = append(ths, vm)
+	drain(t, sim, 10*simkit.Second, ths...)
+	if len(wakeTimes) != 6 {
+		t.Fatalf("only %d waiters woke", len(wakeTimes))
+	}
+	// Strictly increasing: the chain is sequential, not a thundering herd.
+	for i := 1; i < len(wakeTimes); i++ {
+		if wakeTimes[i] <= wakeTimes[i-1] {
+			t.Errorf("wake %d at %v not after wake %d at %v", i, wakeTimes[i], i-1, wakeTimes[i-1])
+		}
+	}
+}
+
+func TestBypassCounting(t *testing.T) {
+	sim, k := newKernel(t, 4, 11)
+	m := New(k, "m", PolicyHotSpot)
+	var waiter, holder, bypasser *cfs.Thread
+	waiter = k.Spawn("waiter", 1, func(e *cfs.Env) {
+		e.Compute(100 * us)
+		m.Lock(e) // will queue behind holder
+		m.Unlock(e)
+	})
+	holder = k.Spawn("holder", 0, func(e *cfs.Env) {
+		m.Lock(e)
+		e.Compute(3 * ms) // long critical section; waiter queues
+		m.Unlock(e)
+		e.Compute(5 * ms) // lock free; waiter is OnDeck but parked/waking
+	})
+	bypasser = k.Spawn("bypasser", 2, func(e *cfs.Env) {
+		// Arrive just after release, inside the queued waiter's deep-idle
+		// wake window (50µs), and steal the lock through the fast path.
+		e.Compute(3*ms + 20*us)
+		m.Lock(e)
+		e.Compute(50 * us)
+		m.Unlock(e)
+	})
+	drain(t, sim, 10*simkit.Second, waiter, holder, bypasser)
+	if m.Stats.Bypasses == 0 {
+		t.Error("expected at least one bypass acquisition")
+	}
+}
+
+func TestNoFastPathPreventsBypass(t *testing.T) {
+	sim, k := newKernel(t, 4, 11)
+	m := New(k, "m", PolicyNoFastPath)
+	var ths []*cfs.Thread
+	for i := 0; i < 4; i++ {
+		ths = append(ths, k.Spawn("w", ostopo.CoreID(i), func(e *cfs.Env) {
+			for j := 0; j < 20; j++ {
+				m.Lock(e)
+				e.Compute(20 * us)
+				m.Unlock(e)
+				e.Compute(10 * us)
+			}
+		}))
+	}
+	drain(t, sim, 10*simkit.Second, ths...)
+	if m.Stats.Bypasses != 0 {
+		t.Errorf("no-fast-path policy recorded %d bypasses", m.Stats.Bypasses)
+	}
+}
+
+func TestWakeAllLetsManyCompete(t *testing.T) {
+	sim, k := newKernel(t, 4, 13)
+	m := New(k, "m", PolicyWakeAll)
+	done := 0
+	var ths []*cfs.Thread
+	for i := 0; i < 5; i++ {
+		ths = append(ths, k.Spawn("w", ostopo.CoreID(i%4), func(e *cfs.Env) {
+			m.Lock(e)
+			e.Compute(50 * us)
+			done++
+			m.Unlock(e)
+		}))
+	}
+	drain(t, sim, 10*simkit.Second, ths...)
+	if done != 5 {
+		t.Errorf("done = %d, want 5", done)
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	sim, k := newKernel(t, 2, 1)
+	m := New(k, "m", PolicyHotSpot)
+	recovered := 0
+	a := k.Spawn("a", 0, func(e *cfs.Env) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					recovered++
+				}
+			}()
+			m.Unlock(e) // not owner
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					recovered++
+				}
+			}()
+			m.Wait(e) // not owner
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					recovered++
+				}
+			}()
+			m.Lock(e)
+			m.Lock(e) // recursive
+		}()
+	})
+	drain(t, sim, simkit.Second, a)
+	if recovered != 3 {
+		t.Errorf("recovered %d panics, want 3", recovered)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		PolicyHotSpot:    "hotspot",
+		PolicyFairFIFO:   "fair-fifo",
+		PolicyNoFastPath: "no-fast-path",
+		PolicyWakeAll:    "wake-all",
+		Policy(42):       "Policy(42)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Policy(%d).String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+func TestStressRandomSchedules(t *testing.T) {
+	// Property-style stress: across seeds and policies, no exclusion
+	// violation and no lost thread.
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, pol := range []Policy{PolicyHotSpot, PolicyFairFIFO, PolicyNoFastPath, PolicyWakeAll} {
+			sim, k := newKernel(t, 3, seed)
+			m := New(k, "m", pol)
+			inside, viol, count := 0, 0, 0
+			var ths []*cfs.Thread
+			for i := 0; i < 5; i++ {
+				ths = append(ths, k.Spawn("w", ostopo.CoreID(i%3), func(e *cfs.Env) {
+					for j := 0; j < 10; j++ {
+						m.Lock(e)
+						inside++
+						if inside > 1 {
+							viol++
+						}
+						e.Compute(simkit.Time(1+e.Rand().Intn(100)) * us)
+						inside--
+						count++
+						m.Unlock(e)
+						if e.Rand().Intn(2) == 0 {
+							e.Sleep(simkit.Time(e.Rand().Intn(200)) * us)
+						}
+					}
+				}))
+			}
+			drain(t, sim, 20*simkit.Second, ths...)
+			if viol != 0 {
+				t.Fatalf("seed %d policy %v: %d violations", seed, pol, viol)
+			}
+			if count != 50 {
+				t.Fatalf("seed %d policy %v: %d sections, want 50", seed, pol, count)
+			}
+		}
+	}
+}

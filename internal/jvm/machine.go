@@ -1,0 +1,77 @@
+// Package jvm assembles the full system: a simulated multicore machine
+// running one or more JVMs, each with a generational heap, a Parallel
+// Scavenge collector, mutator threads driven by a workload profile, a VM
+// thread coordinating stop-the-world safepoints, and (optionally) the
+// paper's optimizations — dynamic GC thread affinity and adaptive
+// semi-random work stealing.
+package jvm
+
+import (
+	"fmt"
+
+	"repro/internal/cfs"
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// Machine is one simulated host: a simulator plus a kernel, able to run
+// several JVMs and interfering busy-loop workloads side by side (§5.7).
+type Machine struct {
+	Sim *simkit.Sim
+	K   *cfs.Kernel
+
+	jvms []*JVM
+	busy []*cfs.Thread
+}
+
+// NewMachine creates a machine. params may be nil for defaults.
+func NewMachine(seed int64, topo *ostopo.Topology, params *cfs.Params) *Machine {
+	p := cfs.DefaultParams()
+	if params != nil {
+		p = *params
+	}
+	sim := simkit.New(seed)
+	return &Machine{Sim: sim, K: cfs.NewKernel(sim, topo, p)}
+}
+
+// AddBusyLoops spawns n CPU-bound interference threads pinned to cores
+// 0..n-1 (the paper's "ten busy loops on ten cores").
+func (m *Machine) AddBusyLoops(n int) {
+	for i := 0; i < n; i++ {
+		core := ostopo.CoreID(i % m.K.NumCPUs())
+		th := m.K.Spawn(fmt.Sprintf("busyloop#%d", i), core, func(e *cfs.Env) {
+			e.SetAffinity(core)
+			for {
+				e.Compute(1 * simkit.Millisecond)
+			}
+		})
+		m.busy = append(m.busy, th)
+	}
+}
+
+// Run steps the simulation until every JVM has finished (or maxTime is
+// reached, which returns an error).
+func (m *Machine) Run(maxTime simkit.Time) error {
+	for m.Sim.Now() < maxTime {
+		done := true
+		for _, j := range m.jvms {
+			if !j.done {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		if !m.Sim.Step() {
+			return fmt.Errorf("jvm: simulation deadlocked at %v", m.Sim.Now())
+		}
+	}
+	return fmt.Errorf("jvm: simulation exceeded %v", maxTime)
+}
+
+// Close releases kernel timers and coroutine goroutines.
+func (m *Machine) Close() {
+	m.K.Shutdown()
+	m.Sim.Close()
+}

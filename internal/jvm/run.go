@@ -1,0 +1,96 @@
+package jvm
+
+import (
+	"repro/internal/cfs"
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// RunSpec is a one-shot run description: one machine, one JVM, optional
+// interference.
+type RunSpec struct {
+	Config
+	// Topo defaults to the paper's testbed (20 cores, SMT off).
+	Topo *ostopo.Topology
+	// Sched overrides scheduler parameters (nil = defaults).
+	Sched *cfs.Params
+	// Seed seeds the whole simulation.
+	Seed int64
+	// BusyLoops adds interfering CPU hogs pinned to the first cores.
+	BusyLoops int
+	// MaxSim bounds virtual time (0 = 20 minutes).
+	MaxSim simkit.Time
+	// Trace records a scheduling timeline (cfs.Trace) into Result.Trace.
+	Trace bool
+}
+
+// Run executes a single-JVM simulation to completion and returns its
+// result. An ErrOutOfMemory run still returns a Result (with Err set);
+// other failures return an error.
+func Run(spec RunSpec) (*Result, error) {
+	topo := spec.Topo
+	if topo == nil {
+		topo = ostopo.PaperTestbed()
+	}
+	maxSim := spec.MaxSim
+	if maxSim <= 0 {
+		maxSim = 20 * 60 * simkit.Second
+	}
+	m := NewMachine(spec.Seed, topo, spec.Sched)
+	defer m.Close()
+	var tr *cfs.Trace
+	if spec.Trace {
+		tr = cfs.NewTrace()
+		m.K.SetTrace(tr)
+	}
+	if spec.BusyLoops > 0 {
+		m.AddBusyLoops(spec.BusyLoops)
+	}
+	j, err := m.AddJVM(spec.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(maxSim); err != nil {
+		return nil, err
+	}
+	res := j.Result()
+	if tr != nil {
+		tr.CloseOpen(m.Sim.Now())
+		res.Trace = tr
+		res.NumCPUs = m.K.NumCPUs()
+	}
+	return res, nil
+}
+
+// RunMulti executes several JVMs sharing one machine (§5.7) and returns
+// their results in order.
+func RunMulti(seed int64, topo *ostopo.Topology, sched *cfs.Params, busyLoops int, maxSim simkit.Time, cfgs ...Config) ([]*Result, error) {
+	if topo == nil {
+		topo = ostopo.PaperTestbed()
+	}
+	if maxSim <= 0 {
+		maxSim = 20 * 60 * simkit.Second
+	}
+	m := NewMachine(seed, topo, sched)
+	defer m.Close()
+	if busyLoops > 0 {
+		m.AddBusyLoops(busyLoops)
+	}
+	jvms := make([]*JVM, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg.Seed += int64(i * 1000003)
+		j, err := m.AddJVM(cfg)
+		if err != nil {
+			return nil, err
+		}
+		jvms = append(jvms, j)
+	}
+	if err := m.Run(maxSim); err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(jvms))
+	for i, j := range jvms {
+		out[i] = j.Result()
+	}
+	return out, nil
+}

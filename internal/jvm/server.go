@@ -1,0 +1,101 @@
+package jvm
+
+import (
+	"repro/internal/cfs"
+	"repro/internal/simkit"
+)
+
+// This file implements the Cassandra-style server mode (§3.1, §5.5): a
+// fixed pool of worker (mutator) threads services requests from closed-loop
+// clients on a separate machine (modeled as zero-cost events, since the
+// paper's client box does not consume server CPU). Request latency includes
+// queueing delay and any stop-the-world pause that hits mid-flight, which
+// is what drives the paper's tail-latency results.
+
+// seedClients issues the initial window of requests (one per client).
+func (j *JVM) seedClients() {
+	clients := j.Cfg.Clients
+	if clients <= 0 {
+		clients = 16
+	}
+	if j.Cfg.Requests <= 0 {
+		j.Cfg.Requests = 10000
+	}
+	for c := 0; c < clients && j.issued < j.Cfg.Requests; c++ {
+		// Stagger arrivals by a microsecond so they do not all land on the
+		// same instant.
+		d := simkit.Time(c) * simkit.Microsecond
+		j.M.Sim.After(d, j.issueRequest)
+	}
+}
+
+// issueRequest enqueues one request and wakes an idle worker.
+func (j *JVM) issueRequest() {
+	if j.issued >= j.Cfg.Requests {
+		return
+	}
+	j.issued++
+	j.pending = append(j.pending, &request{issued: j.M.Sim.Now()})
+	for _, ms := range j.muts {
+		if ms.idle && !ms.finished {
+			j.M.K.Unpark(ms.th)
+			break
+		}
+	}
+}
+
+func (j *JVM) popRequest() *request {
+	if len(j.pending) == 0 {
+		return nil
+	}
+	r := j.pending[0]
+	j.pending = j.pending[1:]
+	return r
+}
+
+// completeRequest records latency and, closed-loop, issues the successor.
+func (j *JVM) completeRequest(e *cfs.Env, r *request) {
+	lat := e.Now() - r.issued
+	j.latency.Add(lat.Millis())
+	j.answered++
+	if j.answered >= j.Cfg.Requests {
+		// All done: wake idle workers so they can exit.
+		for _, ms := range j.muts {
+			if ms.idle && !ms.finished {
+				j.M.K.Unpark(ms.th)
+			}
+		}
+		return
+	}
+	j.issueRequest()
+}
+
+// serverWorkerBody is one worker thread's loop.
+func (j *JVM) serverWorkerBody(i int) func(*cfs.Env) {
+	return func(e *cfs.Env) {
+		ms := j.muts[i]
+		for j.oomErr == nil {
+			j.checkSafepoint(e, i)
+			if j.answered >= j.Cfg.Requests {
+				break
+			}
+			req := j.popRequest()
+			if req == nil {
+				if j.safepoint {
+					continue // count ourselves via checkSafepoint
+				}
+				ms.idle = true
+				if j.safepoint && j.stoppedOrIdle() >= j.activeMutators {
+					j.M.K.Unpark(j.vm)
+				}
+				e.Park()
+				ms.idle = false
+				continue
+			}
+			j.runItem(e, i)
+			j.itemsDone++
+			j.completeRequest(e, req)
+		}
+		j.mutatorFinished(e, i)
+	}
+}

@@ -1,0 +1,41 @@
+package jvm
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSmokeLusearch logs headline numbers for manual calibration. It keeps
+// loose assertions; the tight behavioural tests live in jvm_test.go.
+func TestSmokeLusearch(t *testing.T) {
+	p := workload.Lusearch()
+	p.TotalItems /= 4 // keep the smoke test quick
+	base := Config{Profile: p, Mutators: 16, Seed: 1}
+
+	van, err := Run(RunSpec{Config: base, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Run(RunSpec{Config: base.WithOptimizations(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*Result{"vanilla": van, "optimized": opt} {
+		t.Logf("%s: total=%v gc=%v (ratio %.2f) mutator=%v minor=%d major=%d attempts=%d failrate=%.2f reacq=%d rebinds=%d",
+			name, r.TotalTime, r.GCTime, r.GCRatio(), r.MutatorTime,
+			r.MinorGCs, r.MajorGCs, r.Steal.TotalAttempts(), r.Steal.FailureRate(),
+			r.Monitor.OwnerReacquires, r.Rebinds)
+		for i, rep := range r.Reports {
+			if i > 8 {
+				break
+			}
+			t.Logf("  GC#%d %s: pause=%v cores=%d rootSpread=%d steal=%v term=%v",
+				i, rep.Kind, rep.Pause(), rep.CoresUsed(), rep.RootTaskSpread(),
+				rep.StealWorkTime, rep.TerminationTime)
+		}
+	}
+	if van.GCTime <= 0 || opt.GCTime <= 0 {
+		t.Fatal("no GC activity")
+	}
+}

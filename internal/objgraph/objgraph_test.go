@@ -1,0 +1,193 @@
+package objgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/heap"
+)
+
+func newHeap(t *testing.T) *heap.Heap {
+	t.Helper()
+	h, err := heap.New(heap.Config{
+		EdenBytes: 1 << 20, SurvivorBytes: 1 << 18, OldBytes: 1 << 22, TenureAge: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		func() Params { p := DefaultParams(); p.MeanObjectSize = 1; return p }(),
+		func() Params { p := DefaultParams(); p.StackWindow = 0; return p }(),
+		func() Params { p := DefaultParams(); p.RetainProb = 1.5; return p }(),
+		func() Params { p := DefaultParams(); p.OldAttachProb = -0.1; return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestMutatorAllocatesClusters(t *testing.T) {
+	h := newHeap(t)
+	m, err := NewMutator(0, h, DefaultParams(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < 100; i++ {
+		n, ok := m.AllocCluster()
+		if !ok {
+			t.Fatalf("eden full after %d clusters (unexpectedly small)", i)
+		}
+		total += n
+	}
+	eden, _, _ := h.Usage()
+	if eden != total {
+		t.Errorf("eden usage %d != allocated %d", eden, total)
+	}
+	if m.Clusters != 100 {
+		t.Errorf("Clusters = %d, want 100", m.Clusters)
+	}
+	if len(m.Roots()) == 0 {
+		t.Error("no roots after allocation")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocClusterReportsEdenFull(t *testing.T) {
+	h, err := heap.New(heap.Config{EdenBytes: 2000, SurvivorBytes: 1000, OldBytes: 1 << 20, TenureAge: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMutator(0, h, DefaultParams(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := false
+	for i := 0; i < 1000; i++ {
+		if _, ok := m.AllocCluster(); !ok {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("eden never filled")
+	}
+	// Nothing was partially allocated on the failing call: invariants hold.
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRootsWindowBounded(t *testing.T) {
+	h := newHeap(t)
+	p := DefaultParams()
+	p.StackWindow = 8
+	p.RetainWindow = 16
+	m, _ := NewMutator(0, h, p, rand.New(rand.NewSource(2)))
+	for i := 0; i < 200; i++ {
+		if _, ok := m.AllocCluster(); !ok {
+			t.Fatal("eden full")
+		}
+	}
+	if len(m.Roots()) > 8+16 {
+		t.Errorf("roots window = %d, want <= 24", len(m.Roots()))
+	}
+}
+
+func TestGarbageIsGenerated(t *testing.T) {
+	// Most clusters must become unreachable (weak generational hypothesis).
+	h := newHeap(t)
+	m, _ := NewMutator(0, h, DefaultParams(), rand.New(rand.NewSource(3)))
+	for i := 0; i < 300; i++ {
+		if _, ok := m.AllocCluster(); !ok {
+			t.Fatal("eden full")
+		}
+	}
+	roots := append(m.Roots(), m.Anchor())
+	live := h.ReachableFrom(roots)
+	if len(live) >= h.LiveObjects() {
+		t.Errorf("no garbage generated: %d live of %d objects", len(live), h.LiveObjects())
+	}
+	frac := float64(len(live)) / float64(h.LiveObjects())
+	if frac > 0.9 {
+		t.Errorf("survival fraction %.2f too high for a generational workload", frac)
+	}
+}
+
+func TestOldAttachFillsRememberedSet(t *testing.T) {
+	h := newHeap(t)
+	p := DefaultParams()
+	p.RetainProb = 1.0
+	p.OldAttachProb = 1.0
+	m, _ := NewMutator(0, h, p, rand.New(rand.NewSource(4)))
+	for i := 0; i < 100; i++ {
+		if _, ok := m.AllocCluster(); !ok {
+			t.Fatal("eden full")
+		}
+	}
+	if len(h.RememberedSet()) == 0 {
+		t.Error("old-attach never produced a remembered-set entry")
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimAnchorDropsReferences(t *testing.T) {
+	h := newHeap(t)
+	p := DefaultParams()
+	p.RetainProb = 1.0
+	p.OldAttachProb = 1.0
+	m, _ := NewMutator(0, h, p, rand.New(rand.NewSource(5)))
+	for i := 0; i < 200; i++ {
+		if _, ok := m.AllocCluster(); !ok {
+			t.Fatal("eden full")
+		}
+	}
+	before := len(h.Get(m.Anchor()).Refs)
+	if before == 0 {
+		t.Fatal("anchor has no refs to trim")
+	}
+	m.TrimAnchor(1.0)
+	if after := len(h.Get(m.Anchor()).Refs); after != 0 {
+		t.Errorf("TrimAnchor(1.0) left %d refs", after)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() (int64, int) {
+		h := newHeap(t)
+		m, _ := NewMutator(0, h, DefaultParams(), rand.New(rand.NewSource(42)))
+		for i := 0; i < 150; i++ {
+			m.AllocCluster()
+		}
+		return m.AllocatedBytes, len(h.RememberedSet())
+	}
+	a1, r1 := run()
+	a2, r2 := run()
+	if a1 != a2 || r1 != r2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", a1, r1, a2, r2)
+	}
+}
+
+func TestNewMutatorFailsWhenOldTooSmall(t *testing.T) {
+	h, err := heap.New(heap.Config{EdenBytes: 1000, SurvivorBytes: 500, OldBytes: 8, TenureAge: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMutator(0, h, DefaultParams(), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("NewMutator succeeded with old generation too small for the anchor")
+	}
+}

@@ -1,0 +1,148 @@
+// Package ostopo models multicore machine topology: logical CPUs, SMT
+// sibling pairs, NUMA nodes, and the scheduling-domain ladder used by the
+// load balancer (SMT domain, node/LLC domain, system domain).
+//
+// The default topology mirrors the paper's testbed: a Dell PowerEdge T430
+// with two 10-core Intel Xeon E5-2640 v4 packages (20 physical cores, 40
+// logical CPUs with SMT enabled).
+package ostopo
+
+import "fmt"
+
+// CoreID identifies a logical CPU.
+type CoreID int
+
+// DomainLevel identifies a rung of the scheduling-domain ladder.
+type DomainLevel int
+
+const (
+	// DomainSMT spans the sibling hyperthreads of one physical core.
+	DomainSMT DomainLevel = iota
+	// DomainNode spans the logical CPUs of one NUMA node (shared LLC).
+	DomainNode
+	// DomainSystem spans the whole machine.
+	DomainSystem
+)
+
+func (d DomainLevel) String() string {
+	switch d {
+	case DomainSMT:
+		return "SMT"
+	case DomainNode:
+		return "Node"
+	case DomainSystem:
+		return "System"
+	}
+	return fmt.Sprintf("DomainLevel(%d)", int(d))
+}
+
+// Topology describes a machine. Logical CPU numbering follows Linux
+// convention: CPUs [0, PhysCores) are the first hyperthread of each physical
+// core, CPUs [PhysCores, 2*PhysCores) are their SMT siblings. Physical cores
+// are split evenly across NUMA nodes, lowest IDs on node 0.
+type Topology struct {
+	PhysCores int // number of physical cores
+	SMTWays   int // hyperthreads per physical core: 1 or 2
+	Nodes     int // NUMA nodes; must divide PhysCores
+}
+
+// New validates and returns a topology.
+func New(physCores, smtWays, nodes int) (*Topology, error) {
+	t := &Topology{PhysCores: physCores, SMTWays: smtWays, Nodes: nodes}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// PaperTestbed returns the paper's machine: dual 10-core sockets, SMT off.
+func PaperTestbed() *Topology { return &Topology{PhysCores: 20, SMTWays: 1, Nodes: 2} }
+
+// PaperTestbedSMT returns the paper's machine with SMT enabled (40 CPUs).
+func PaperTestbedSMT() *Topology { return &Topology{PhysCores: 20, SMTWays: 2, Nodes: 2} }
+
+// Validate checks structural invariants.
+func (t *Topology) Validate() error {
+	if t.PhysCores <= 0 {
+		return fmt.Errorf("ostopo: PhysCores must be positive, got %d", t.PhysCores)
+	}
+	if t.SMTWays != 1 && t.SMTWays != 2 {
+		return fmt.Errorf("ostopo: SMTWays must be 1 or 2, got %d", t.SMTWays)
+	}
+	if t.Nodes <= 0 || t.PhysCores%t.Nodes != 0 {
+		return fmt.Errorf("ostopo: Nodes (%d) must be positive and divide PhysCores (%d)", t.Nodes, t.PhysCores)
+	}
+	return nil
+}
+
+// NumCPUs returns the number of logical CPUs.
+func (t *Topology) NumCPUs() int { return t.PhysCores * t.SMTWays }
+
+// PhysCore returns the physical core index of a logical CPU.
+func (t *Topology) PhysCore(c CoreID) int { return int(c) % t.PhysCores }
+
+// Node returns the NUMA node of a logical CPU.
+func (t *Topology) Node(c CoreID) int {
+	perNode := t.PhysCores / t.Nodes
+	return t.PhysCore(c) / perNode
+}
+
+// Sibling returns the SMT sibling of c, if SMT is enabled.
+func (t *Topology) Sibling(c CoreID) (CoreID, bool) {
+	if t.SMTWays != 2 {
+		return 0, false
+	}
+	if int(c) < t.PhysCores {
+		return c + CoreID(t.PhysCores), true
+	}
+	return c - CoreID(t.PhysCores), true
+}
+
+// NodeCPUs returns the logical CPUs of NUMA node n, in increasing order.
+func (t *Topology) NodeCPUs(n int) []CoreID {
+	var out []CoreID
+	for c := 0; c < t.NumCPUs(); c++ {
+		if t.Node(CoreID(c)) == n {
+			out = append(out, CoreID(c))
+		}
+	}
+	return out
+}
+
+// Domain returns the set of logical CPUs sharing the given domain level with
+// c, excluding c itself. For DomainSMT on a non-SMT machine it is empty.
+func (t *Topology) Domain(c CoreID, lvl DomainLevel) []CoreID {
+	var out []CoreID
+	switch lvl {
+	case DomainSMT:
+		if s, ok := t.Sibling(c); ok {
+			out = append(out, s)
+		}
+	case DomainNode:
+		for _, o := range t.NodeCPUs(t.Node(c)) {
+			if o != c {
+				out = append(out, o)
+			}
+		}
+	case DomainSystem:
+		for o := 0; o < t.NumCPUs(); o++ {
+			if CoreID(o) != c {
+				out = append(out, CoreID(o))
+			}
+		}
+	}
+	return out
+}
+
+// Distance returns the smallest domain level containing both CPUs: SMT if
+// they are hyperthread siblings (or identical), Node if they share a NUMA
+// node, System otherwise.
+func (t *Topology) Distance(a, b CoreID) DomainLevel {
+	if t.PhysCore(a) == t.PhysCore(b) {
+		return DomainSMT
+	}
+	if t.Node(a) == t.Node(b) {
+		return DomainNode
+	}
+	return DomainSystem
+}

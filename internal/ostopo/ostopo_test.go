@@ -1,0 +1,156 @@
+package ostopo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTestbed(t *testing.T) {
+	topo := PaperTestbed()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCPUs() != 20 {
+		t.Errorf("NumCPUs() = %d, want 20", topo.NumCPUs())
+	}
+	if _, ok := topo.Sibling(3); ok {
+		t.Error("SMT-off topology reported a sibling")
+	}
+	if topo.Node(0) != 0 || topo.Node(9) != 0 || topo.Node(10) != 1 || topo.Node(19) != 1 {
+		t.Error("node assignment wrong for dual-socket 10-core layout")
+	}
+}
+
+func TestPaperTestbedSMT(t *testing.T) {
+	topo := PaperTestbedSMT()
+	if topo.NumCPUs() != 40 {
+		t.Fatalf("NumCPUs() = %d, want 40", topo.NumCPUs())
+	}
+	s, ok := topo.Sibling(3)
+	if !ok || s != 23 {
+		t.Errorf("Sibling(3) = (%d,%v), want (23,true)", s, ok)
+	}
+	s, ok = topo.Sibling(23)
+	if !ok || s != 3 {
+		t.Errorf("Sibling(23) = (%d,%v), want (3,true)", s, ok)
+	}
+	// Siblings share physical core and node.
+	if topo.PhysCore(3) != topo.PhysCore(23) {
+		t.Error("siblings on different physical cores")
+	}
+	if topo.Node(3) != topo.Node(23) {
+		t.Error("siblings on different NUMA nodes")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Topology{
+		{PhysCores: 0, SMTWays: 1, Nodes: 1},
+		{PhysCores: -4, SMTWays: 1, Nodes: 1},
+		{PhysCores: 8, SMTWays: 3, Nodes: 1},
+		{PhysCores: 8, SMTWays: 1, Nodes: 0},
+		{PhysCores: 10, SMTWays: 1, Nodes: 3},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate accepted invalid topology %+v", b)
+		}
+	}
+	if _, err := New(10, 3, 2); err == nil {
+		t.Error("New accepted invalid SMTWays")
+	}
+	if _, err := New(10, 2, 2); err != nil {
+		t.Errorf("New rejected valid topology: %v", err)
+	}
+}
+
+func TestNodeCPUs(t *testing.T) {
+	topo := PaperTestbedSMT()
+	n0 := topo.NodeCPUs(0)
+	if len(n0) != 20 {
+		t.Fatalf("node 0 has %d CPUs, want 20 (10 phys × 2 SMT)", len(n0))
+	}
+	for _, c := range n0 {
+		if topo.Node(c) != 0 {
+			t.Errorf("CPU %d listed in node 0 but Node() = %d", c, topo.Node(c))
+		}
+	}
+}
+
+func TestDomain(t *testing.T) {
+	topo := PaperTestbed()
+	if d := topo.Domain(0, DomainSMT); len(d) != 0 {
+		t.Errorf("SMT domain on non-SMT machine = %v, want empty", d)
+	}
+	if d := topo.Domain(0, DomainNode); len(d) != 9 {
+		t.Errorf("node domain size = %d, want 9", len(d))
+	}
+	if d := topo.Domain(0, DomainSystem); len(d) != 19 {
+		t.Errorf("system domain size = %d, want 19", len(d))
+	}
+	smt := PaperTestbedSMT()
+	if d := smt.Domain(5, DomainSMT); len(d) != 1 || d[0] != 25 {
+		t.Errorf("SMT domain of CPU 5 = %v, want [25]", d)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	topo := PaperTestbedSMT()
+	if d := topo.Distance(5, 25); d != DomainSMT {
+		t.Errorf("Distance(5,25) = %v, want SMT", d)
+	}
+	if d := topo.Distance(0, 9); d != DomainNode {
+		t.Errorf("Distance(0,9) = %v, want Node", d)
+	}
+	if d := topo.Distance(0, 10); d != DomainSystem {
+		t.Errorf("Distance(0,10) = %v, want System", d)
+	}
+	if d := topo.Distance(7, 7); d != DomainSMT {
+		t.Errorf("Distance(7,7) = %v, want SMT (same core)", d)
+	}
+}
+
+func TestDomainLevelString(t *testing.T) {
+	if DomainSMT.String() != "SMT" || DomainNode.String() != "Node" || DomainSystem.String() != "System" {
+		t.Error("DomainLevel.String() wrong")
+	}
+	if DomainLevel(9).String() != "DomainLevel(9)" {
+		t.Error("unknown DomainLevel.String() wrong")
+	}
+}
+
+func TestSiblingInvolution(t *testing.T) {
+	// Property: Sibling is an involution and never maps a CPU to itself.
+	topo := PaperTestbedSMT()
+	check := func(raw uint8) bool {
+		c := CoreID(int(raw) % topo.NumCPUs())
+		s, ok := topo.Sibling(c)
+		if !ok || s == c {
+			return false
+		}
+		s2, ok := topo.Sibling(s)
+		return ok && s2 == c
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodePartition(t *testing.T) {
+	// Property: NodeCPUs partitions the CPU set.
+	topo := &Topology{PhysCores: 12, SMTWays: 2, Nodes: 3}
+	seen := map[CoreID]int{}
+	for n := 0; n < topo.Nodes; n++ {
+		for _, c := range topo.NodeCPUs(n) {
+			seen[c]++
+		}
+	}
+	if len(seen) != topo.NumCPUs() {
+		t.Fatalf("nodes cover %d CPUs, want %d", len(seen), topo.NumCPUs())
+	}
+	for c, n := range seen {
+		if n != 1 {
+			t.Errorf("CPU %d appears in %d nodes", c, n)
+		}
+	}
+}

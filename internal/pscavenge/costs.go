@@ -1,0 +1,94 @@
+// Package pscavenge implements the Parallel Scavenge collector of HotSpot
+// as described in §2.1–§2.3 of the paper, running on the simulated kernel:
+//
+//   - a GCTaskManager implemented as a HotSpot monitor protecting the global
+//     GCTaskQueue (dynamic task assignment);
+//   - the minor-GC task types (OldToYoungRootsTask, ScavengeRootsTask,
+//     ThreadRootsTask) plus one StealTask per GC thread;
+//   - per-thread GenericTaskQueue deques holding fine-grained tasks (object
+//     subgraphs), stolen via a pluggable policy;
+//   - the distributed termination protocol (2·N consecutive failed steals,
+//     _offered_termination counter, peek-and-return) and the paper's
+//     FastParallelTaskTerminator (2·N_live, Algorithm 2);
+//   - a full-GC path: parallel marking with stealing, then sweep and a
+//     partially-parallel compaction;
+//   - per-GC reports: phase decomposition (Fig. 6), task and thread
+//     distribution matrices (Figs. 4/8), steal counters (Table 1, Fig. 9).
+package pscavenge
+
+import "repro/internal/simkit"
+
+// Costs calibrate simulated time per unit of real collector work. They are
+// chosen so task lengths land in the tens-of-microseconds range and minor
+// pauses in the tens-of-milliseconds range the paper reports (§2.5, §3).
+type Costs struct {
+	// ObjCopyBase is charged per object copied or promoted.
+	ObjCopyBase simkit.Time
+	// CopyPerByte is charged per byte copied (model bytes).
+	CopyPerByte simkit.Time
+	// RefScan is charged per reference examined.
+	RefScan simkit.Time
+	// MarkObj is charged per object marked in a full GC.
+	MarkObj simkit.Time
+	// CompactPerByte is charged per live old byte during compaction.
+	CompactPerByte simkit.Time
+	// CompactSerialFrac is the fraction of compaction work done serially by
+	// the VM thread (summary/fixup phases); the rest is parallel region
+	// work. Full GC therefore benefits less from the optimizations (§5.5).
+	CompactSerialFrac float64
+
+	// TaskDequeue is the get_task critical-section length.
+	TaskDequeue simkit.Time
+	// RootPrepBase + RootPrepPerTask is the VM thread's initialization
+	// phase (suspending mutators, preparing tasks).
+	RootPrepBase    simkit.Time
+	RootPrepPerTask simkit.Time
+	// FinalSync is the VM thread's final synchronization phase.
+	FinalSync simkit.Time
+
+	// StealAttempt is the cost of one steal attempt (victim inspection and
+	// the CAS on its queue top).
+	StealAttempt simkit.Time
+	// TermSpin is one spin iteration inside the termination protocol.
+	TermSpin simkit.Time
+	// TermSleep is the sleep between termination re-checks (HotSpot uses
+	// ~1 ms naps once yielding stops making progress).
+	TermSleep simkit.Time
+
+	// ChunkWork is the maximum accumulated tracing work submitted as one
+	// Compute call; it bounds how long a GC thread runs without giving the
+	// scheduler a decision point.
+	ChunkWork simkit.Time
+}
+
+// DefaultCosts returns the calibration used by the evaluation.
+func DefaultCosts() Costs {
+	return Costs{
+		ObjCopyBase:       500 * simkit.Nanosecond,
+		CopyPerByte:       2 * simkit.Nanosecond, // per model byte
+		RefScan:           80 * simkit.Nanosecond,
+		MarkObj:           200 * simkit.Nanosecond,
+		CompactPerByte:    2 * simkit.Nanosecond,
+		CompactSerialFrac: 0.5,
+
+		TaskDequeue:     300 * simkit.Nanosecond,
+		RootPrepBase:    250 * simkit.Microsecond,
+		RootPrepPerTask: 2 * simkit.Microsecond,
+		FinalSync:       120 * simkit.Microsecond,
+
+		StealAttempt: 400 * simkit.Nanosecond,
+		TermSpin:     2 * simkit.Microsecond,
+		TermSleep:    1 * simkit.Millisecond,
+
+		ChunkWork: 8 * simkit.Microsecond,
+	}
+}
+
+// DefaultGCThreads is HotSpot's heuristic for the number of GC threads
+// (footnote 1): ncpus when ncpus <= 8, else 3 + ncpus*5/8.
+func DefaultGCThreads(ncpus int) int {
+	if ncpus <= 8 {
+		return ncpus
+	}
+	return 3 + ncpus*5/8
+}

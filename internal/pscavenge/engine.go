@@ -1,0 +1,616 @@
+package pscavenge
+
+import (
+	"fmt"
+
+	"repro/internal/cfs"
+	"repro/internal/heap"
+	"repro/internal/jmutex"
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+	"repro/internal/taskq"
+)
+
+// Options configure the collector.
+type Options struct {
+	// Threads is the GC thread count; 0 applies HotSpot's heuristic.
+	Threads int
+	// SpawnCore is where GC threads are created (they start stacked there,
+	// like real GCTaskThreads created at JVM launch).
+	SpawnCore ostopo.CoreID
+	// MutexPolicy selects the GCTaskManager monitor discipline.
+	MutexPolicy jmutex.Policy
+	// StealKind selects the work-stealing victim policy.
+	StealKind taskq.PolicyKind
+	// NodeOf maps worker index to NUMA node (KindNUMARestricted only);
+	// it also enables Gidra's 2·N_local termination threshold.
+	NodeOf []int
+	// FastTerminator enables the paper's FastParallelTaskTerminator.
+	FastTerminator bool
+	// TaskAffinity assigns root tasks an affinity worker and makes
+	// get_task prefer matching tasks (§4.1).
+	TaskAffinity bool
+	// OnWorkerStart runs in each GC thread before its first get_task
+	// (static/node affinity binding).
+	OnWorkerStart func(e *cfs.Env, worker int)
+	// OnGCWake runs in each GC thread the first time it dispatches a task
+	// of a new GC cycle (dynamic affinity rebalancing, Algorithm 1).
+	OnGCWake func(e *cfs.Env, worker int)
+	// AdaptiveSizing enables the simple generation-resizing feedback of
+	// the final synchronization phase.
+	AdaptiveSizing bool
+	// RecordLockLog enables the GCTaskManager monitor's acquisition log
+	// (the §3.2 root-cause trace; see Engine.LockLog).
+	RecordLockLog bool
+	// VerifyHeap runs the heap's invariant checker after every collection
+	// (accounting, space lists, remembered-set completeness) and panics on
+	// a violation — the simulation analogue of -XX:+VerifyAfterGC.
+	VerifyHeap bool
+	// NUMA enables the memory-locality cost model: tracing or copying an
+	// object homed on a remote node costs RemoteFactor times as much, and
+	// a copy rehomes the object on the copying thread's node (first-touch,
+	// as in NumaGiC). nil = uniform memory.
+	NUMA *NUMAModel
+	// Costs overrides the calibration (nil = DefaultCosts).
+	Costs *Costs
+}
+
+// Engine is a Parallel Scavenge collector bound to one heap and kernel.
+type Engine struct {
+	K     *cfs.Kernel
+	H     *heap.Heap
+	Opt   Options
+	Costs Costs
+
+	mgr     *manager
+	queues  []taskq.Deque[heap.ObjID]
+	policy  taskq.Policy
+	workers []*cfs.Thread
+
+	vmThread  *cfs.Thread
+	gcSeq     int
+	seenEpoch []int
+	bar       *barrier
+
+	initialEden int64
+
+	// Reports holds one entry per collection, in order.
+	Reports []*GCReport
+	// Steal accumulates steal counters across all collections (Table 1).
+	Steal *taskq.Stats
+}
+
+// NUMAModel prices remote memory accesses during collection.
+type NUMAModel struct {
+	Topo *ostopo.Topology
+	// RemoteFactor multiplies per-object costs for cross-node accesses
+	// (typical inter-socket latency ratios are 1.4-2.0).
+	RemoteFactor float64
+}
+
+type poolView struct{ g *Engine }
+
+func (p poolView) NumQueues() int     { return len(p.g.queues) }
+func (p poolView) QueueLen(i int) int { return p.g.queues[i].Len() }
+
+// New creates the collector and spawns its GC threads (all on
+// Opt.SpawnCore, where they immediately block on the task-manager monitor).
+func New(k *cfs.Kernel, h *heap.Heap, opt Options) *Engine {
+	g := &Engine{K: k, H: h, Opt: opt, Costs: DefaultCosts()}
+	if opt.Costs != nil {
+		g.Costs = *opt.Costs
+	}
+	n := opt.Threads
+	if n <= 0 {
+		n = DefaultGCThreads(k.NumCPUs())
+	}
+	g.queues = make([]taskq.Deque[heap.ObjID], n)
+	g.policy = opt.StealKind.Make(n, opt.NodeOf)
+	g.Steal = taskq.NewStats(n)
+	g.seenEpoch = make([]int, n)
+	for i := range g.seenEpoch {
+		g.seenEpoch[i] = -1
+	}
+	g.mgr = newManager(g, opt.MutexPolicy, opt.TaskAffinity)
+	g.mgr.mon.RecordLog = opt.RecordLockLog
+	g.initialEden = h.Config().EdenBytes
+	g.workers = make([]*cfs.Thread, n)
+	for w := 0; w < n; w++ {
+		w := w
+		g.workers[w] = k.Spawn(fmt.Sprintf("GCTaskThread#%d", w), opt.SpawnCore, func(e *cfs.Env) {
+			if g.Opt.OnWorkerStart != nil {
+				g.Opt.OnWorkerStart(e, w)
+			}
+			g.workerLoop(e, w)
+		})
+	}
+	return g
+}
+
+// Threads returns the number of GC threads.
+func (g *Engine) Threads() int { return len(g.queues) }
+
+// Workers exposes the GC threads (for scheduling analyses in tests).
+func (g *Engine) Workers() []*cfs.Thread { return g.workers }
+
+// Shutdown releases the GC threads; call from the VM thread when done.
+func (g *Engine) Shutdown(e *cfs.Env) { g.mgr.close(e) }
+
+func (g *Engine) workerLoop(e *cfs.Env, w int) {
+	for {
+		task := g.mgr.getTask(e, w)
+		if task == nil {
+			return
+		}
+		if task.rep != nil && task.rep.Seq != g.seenEpoch[w] {
+			g.seenEpoch[w] = task.rep.Seq
+			if g.Opt.OnGCWake != nil {
+				g.Opt.OnGCWake(e, w)
+			}
+		}
+		g.execute(e, w, task)
+	}
+}
+
+func (g *Engine) execute(e *cfs.Env, w int, t *GCTask) {
+	start := e.Now()
+	switch t.Kind {
+	case TaskOldToYoungRoots:
+		g.runOldToYoung(e, w, t)
+		t.rep.RootTaskTime += e.Now() - start
+	case TaskScavengeRoots, TaskThreadRoots:
+		g.runScavengeRoots(e, w, t)
+		t.rep.RootTaskTime += e.Now() - start
+	case TaskMarkRoots:
+		g.runMarkRoots(e, w, t)
+		t.rep.RootTaskTime += e.Now() - start
+	case TaskSteal, TaskMarkSteal:
+		g.runSteal(e, w, t)
+	case TaskCompact:
+		e.Compute(t.Work)
+		t.rep.RootTaskTime += e.Now() - start
+		g.bar.taskDone()
+	}
+}
+
+// tracer accumulates tracing work and submits it to the scheduler in
+// chunks, bounding how long a GC thread runs without a scheduling point.
+type tracer struct {
+	e     *cfs.Env
+	acc   simkit.Time
+	limit simkit.Time
+}
+
+func (tr *tracer) charge(d simkit.Time) {
+	tr.acc += d
+	if tr.acc >= tr.limit {
+		tr.e.Compute(tr.acc)
+		tr.acc = 0
+	}
+}
+
+func (tr *tracer) flush() {
+	if tr.acc > 0 {
+		tr.e.Compute(tr.acc)
+		tr.acc = 0
+	}
+}
+
+func (g *Engine) newTracer(e *cfs.Env) tracer { return tracer{e: e, limit: g.Costs.ChunkWork} }
+
+func isYoung(sp heap.Space) bool { return sp == heap.SpaceEden || sp == heap.SpaceFrom }
+
+// scavengeStep copies one young object and pushes its unvisited young
+// children onto the worker's local queue.
+func (g *Engine) scavengeStep(tr *tracer, w int, id heap.ObjID, rep *GCReport) {
+	h := g.H
+	size, promoted, first := h.CopyYoung(id)
+	if !first {
+		return
+	}
+	rep.CopiedObjects++
+	rep.CopiedBytes += int64(size)
+	if promoted {
+		rep.PromotedObjects++
+	}
+	cost := g.Costs.ObjCopyBase + simkit.Time(size)*g.Costs.CopyPerByte
+	if g.Opt.NUMA != nil {
+		cost = g.numaAdjust(tr, id, cost, rep, true)
+	}
+	tr.charge(cost)
+	for _, r := range h.Get(id).Refs {
+		if r == 0 {
+			continue
+		}
+		tr.charge(g.Costs.RefScan)
+		if !h.Visited(r) && isYoung(h.Get(r).Space) {
+			g.queues[w].PushBottom(r)
+		}
+	}
+}
+
+// markStep marks one object (full GC) and pushes all unvisited children.
+func (g *Engine) markStep(tr *tracer, w int, id heap.ObjID, rep *GCReport) {
+	h := g.H
+	size, first := h.Mark(id)
+	if !first {
+		return
+	}
+	rep.CopiedObjects++
+	rep.CopiedBytes += int64(size)
+	cost := g.Costs.MarkObj
+	if g.Opt.NUMA != nil {
+		cost = g.numaAdjust(tr, id, cost, rep, false)
+	}
+	tr.charge(cost)
+	for _, r := range h.Get(id).Refs {
+		if r == 0 {
+			continue
+		}
+		tr.charge(g.Costs.RefScan)
+		if !h.Visited(r) {
+			g.queues[w].PushBottom(r)
+		}
+	}
+}
+
+// numaAdjust applies the NUMA model to one object access: remote objects
+// cost RemoteFactor times as much; a copy (rehome=true) moves the object to
+// the accessing thread's node.
+func (g *Engine) numaAdjust(tr *tracer, id heap.ObjID, cost simkit.Time, rep *GCReport, rehome bool) simkit.Time {
+	m := g.Opt.NUMA
+	o := g.H.Get(id)
+	myNode := m.Topo.Node(tr.e.Core())
+	if int(o.Node) != myNode {
+		rep.RemoteAccesses++
+		cost = simkit.Time(float64(cost) * m.RemoteFactor)
+		if rehome {
+			o.Node = uint8(myNode)
+		}
+	} else {
+		rep.LocalAccesses++
+	}
+	return cost
+}
+
+// drainLocal processes the worker's local queue to empty.
+func (g *Engine) drainLocal(tr *tracer, w int, rep *GCReport, mark bool) {
+	for {
+		id, ok := g.queues[w].PopBottom()
+		if !ok {
+			return
+		}
+		if mark {
+			g.markStep(tr, w, id, rep)
+		} else {
+			g.scavengeStep(tr, w, id, rep)
+		}
+	}
+}
+
+func (g *Engine) runScavengeRoots(e *cfs.Env, w int, t *GCTask) {
+	tr := g.newTracer(e)
+	for _, id := range t.Roots {
+		if id == 0 {
+			continue
+		}
+		tr.charge(g.Costs.RefScan)
+		if !g.H.Visited(id) && isYoung(g.H.Get(id).Space) {
+			g.queues[w].PushBottom(id)
+		}
+	}
+	g.drainLocal(&tr, w, t.rep, false)
+	tr.flush()
+}
+
+func (g *Engine) runOldToYoung(e *cfs.Env, w int, t *GCTask) {
+	tr := g.newTracer(e)
+	for _, oldID := range t.Roots {
+		for _, r := range g.H.Get(oldID).Refs {
+			if r == 0 {
+				continue
+			}
+			tr.charge(g.Costs.RefScan)
+			if !g.H.Visited(r) && isYoung(g.H.Get(r).Space) {
+				g.queues[w].PushBottom(r)
+			}
+		}
+	}
+	g.drainLocal(&tr, w, t.rep, false)
+	tr.flush()
+}
+
+func (g *Engine) runMarkRoots(e *cfs.Env, w int, t *GCTask) {
+	tr := g.newTracer(e)
+	for _, id := range t.Roots {
+		if id == 0 {
+			continue
+		}
+		tr.charge(g.Costs.RefScan)
+		if !g.H.Visited(id) {
+			g.queues[w].PushBottom(id)
+		}
+	}
+	g.drainLocal(&tr, w, t.rep, true)
+	tr.flush()
+}
+
+// runSteal is the StealTask body: steal → drain → (after enough consecutive
+// failures) offer termination → maybe return to stealing (§2.3, §4.2).
+func (g *Engine) runSteal(e *cfs.Env, w int, t *GCTask) {
+	c := g.Costs
+	term := t.term
+	rep := t.rep
+	mark := t.Kind == TaskMarkSteal
+	fails := 0
+	segStart := e.Now()
+	for {
+		victim := g.policy.ChooseVictim(w, poolView{g}, e.Rand())
+		g.Steal.Attempts[w]++
+		rep.StealAttempts++
+		e.Compute(c.StealAttempt)
+		success := false
+		if victim >= 0 {
+			if id, ok := g.queues[victim].PopTop(); ok {
+				success = true
+				g.policy.RecordResult(w, victim, true)
+				rep.StolenTasks++
+				g.queues[w].PushBottom(id)
+				tr := g.newTracer(e)
+				g.drainLocal(&tr, w, rep, mark)
+				tr.flush()
+				fails = 0
+			}
+		}
+		if success {
+			continue
+		}
+		g.policy.RecordResult(w, victim, false)
+		g.Steal.Failures[w]++
+		rep.StealFailures++
+		fails++
+		if fails >= term.threshold(w) || g.policy.AbortOnFailure() {
+			rep.StealWorkTime += e.Now() - segStart
+			ts := e.Now()
+			finished := term.offer(e, w)
+			// A straggler may observe completion only after the pause has
+			// ended (it wakes among resumed mutators); clamp its share of
+			// the termination phase to the pause itself.
+			end := e.Now()
+			if term.done && term.completedAt > ts && term.completedAt < end {
+				end = term.completedAt
+			}
+			rep.TerminationTime += end - ts
+			segStart = e.Now()
+			if finished {
+				return
+			}
+			fails = 0
+		}
+	}
+}
+
+// --- collection entry points (called from the VM thread) -------------------
+
+// RunMinorGC performs one stop-the-world scavenge. The caller (VM thread)
+// must have suspended the mutators. Returns the collection's report.
+func (g *Engine) RunMinorGC(e *cfs.Env, roots RootSet) *GCReport {
+	g.gcSeq++
+	rep := newGCReport(Minor, g.gcSeq, len(g.queues), g.K.NumCPUs(), e.Now())
+	rep.Before = g.snapshot()
+	g.vmThread = e.T
+	g.H.BeginMinorGC()
+
+	tasks, term := g.buildMinorTasks(roots, rep)
+	// Phase 1: initialization — root preparation while GC threads sleep.
+	e.Compute(g.Costs.RootPrepBase + simkit.Time(len(tasks))*g.Costs.RootPrepPerTask)
+	rep.InitTime = e.Now() - rep.Start
+
+	g.mgr.enqueueAll(e, tasks)
+	for !term.done {
+		e.Park()
+	}
+
+	// Phase 3: final synchronization.
+	fs := e.Now()
+	e.Compute(g.Costs.FinalSync)
+	rep.FreedBytes = g.H.FinishMinorGC()
+	if g.Opt.AdaptiveSizing {
+		g.adaptTenuring()
+		g.resize()
+	}
+	rep.FinalSyncTime = e.Now() - fs
+	rep.After = g.snapshot()
+	rep.End = e.Now()
+	g.Reports = append(g.Reports, rep)
+	g.verify()
+	return rep
+}
+
+// verify enforces Options.VerifyHeap.
+func (g *Engine) verify() {
+	if !g.Opt.VerifyHeap {
+		return
+	}
+	if err := g.H.CheckInvariants(); err != nil {
+		panic(fmt.Sprintf("pscavenge: heap verification failed after GC %d: %v", g.gcSeq, err))
+	}
+}
+
+// snapshot captures the heap's current occupancy for GC reports.
+func (g *Engine) snapshot() HeapSnapshot {
+	eden, from, old := g.H.Usage()
+	cfg := g.H.Config()
+	return HeapSnapshot{
+		EdenUsed: eden, FromUsed: from, OldUsed: old,
+		EdenCap: cfg.EdenBytes, SurvivorCap: cfg.SurvivorBytes, OldCap: cfg.OldBytes,
+	}
+}
+
+func (g *Engine) buildMinorTasks(roots RootSet, rep *GCReport) ([]*GCTask, *terminator) {
+	n := len(g.queues)
+	term := newTerminator(g, n, g.Opt.FastTerminator, g.localThreads())
+	var tasks []*GCTask
+	// OldToYoungRootsTask: the remembered set, striped across GC threads.
+	for _, stripe := range partition(g.H.RememberedSet(), n) {
+		tasks = append(tasks, &GCTask{Kind: TaskOldToYoungRoots, Roots: stripe})
+	}
+	// ScavengeRootsTask: static root categories (HotSpot enumerates ~9:
+	// universe, JNI handles, threads, object synchronizer, ...).
+	for _, part := range partition(roots.StaticRoots, 9) {
+		tasks = append(tasks, &GCTask{Kind: TaskScavengeRoots, Roots: part})
+	}
+	// ThreadRootsTask: one per mutator thread.
+	for _, tr := range roots.ThreadRoots {
+		tasks = append(tasks, &GCTask{Kind: TaskThreadRoots, Roots: tr})
+	}
+	// StealTask: one per GC thread, after all ordinary tasks (§2.2).
+	for w := 0; w < n; w++ {
+		tasks = append(tasks, &GCTask{Kind: TaskSteal, term: term})
+	}
+	g.finishTasks(tasks, rep)
+	return tasks, term
+}
+
+// RunMajorGC performs one stop-the-world full collection: parallel marking
+// with stealing, sweep, then partially-parallel compaction.
+func (g *Engine) RunMajorGC(e *cfs.Env, roots RootSet) *GCReport {
+	g.gcSeq++
+	n := len(g.queues)
+	rep := newGCReport(Major, g.gcSeq, n, g.K.NumCPUs(), e.Now())
+	rep.Before = g.snapshot()
+	g.vmThread = e.T
+	g.H.BeginMajorGC()
+
+	// Phase 1: initialization + marking task construction.
+	term := newTerminator(g, n, g.Opt.FastTerminator, g.localThreads())
+	var tasks []*GCTask
+	for _, part := range partition(roots.StaticRoots, 9) {
+		tasks = append(tasks, &GCTask{Kind: TaskMarkRoots, Roots: part})
+	}
+	for _, tr := range roots.ThreadRoots {
+		tasks = append(tasks, &GCTask{Kind: TaskMarkRoots, Roots: tr})
+	}
+	for w := 0; w < n; w++ {
+		tasks = append(tasks, &GCTask{Kind: TaskMarkSteal, term: term})
+	}
+	g.finishTasks(tasks, rep)
+	e.Compute(g.Costs.RootPrepBase + simkit.Time(len(tasks))*g.Costs.RootPrepPerTask)
+	rep.InitTime = e.Now() - rep.Start
+
+	g.mgr.enqueueAll(e, tasks)
+	for !term.done {
+		e.Park()
+	}
+
+	// Sweep dead objects, then compact: a serial summary phase on the VM
+	// thread followed by parallel region tasks.
+	freedOld, liveOld := g.H.FinishMajorGC()
+	rep.FreedBytes = freedOld
+	total := simkit.Time(liveOld) * g.Costs.CompactPerByte
+	serial := simkit.Time(float64(total) * g.Costs.CompactSerialFrac)
+	e.Compute(serial)
+	if parallel := total - serial; parallel > 0 && n > 0 {
+		g.bar = &barrier{g: g, remaining: n, start: e.Now()}
+		var ctasks []*GCTask
+		for w := 0; w < n; w++ {
+			ctasks = append(ctasks, &GCTask{Kind: TaskCompact, Work: parallel / simkit.Time(n)})
+		}
+		g.finishTasks(ctasks, rep)
+		g.mgr.enqueueAll(e, ctasks)
+		for g.bar.remaining > 0 {
+			e.Park()
+		}
+	}
+
+	fs := e.Now()
+	e.Compute(g.Costs.FinalSync)
+	rep.FinalSyncTime = e.Now() - fs
+	rep.After = g.snapshot()
+	rep.End = e.Now()
+	g.Reports = append(g.Reports, rep)
+	g.verify()
+	return rep
+}
+
+// finishTasks assigns report pointers and (optionally) task affinity.
+func (g *Engine) finishTasks(tasks []*GCTask, rep *GCReport) {
+	n := len(g.queues)
+	for i, t := range tasks {
+		t.rep = rep
+		if g.Opt.TaskAffinity && t.Kind != TaskSteal && t.Kind != TaskMarkSteal {
+			t.Affinity = i % n
+		} else {
+			t.Affinity = -1
+		}
+	}
+}
+
+// localThreads returns the per-worker node-local thread counts when NUMA
+// stealing is configured (Gidra's 2·N_local termination), else nil.
+func (g *Engine) localThreads() []int {
+	if g.Opt.StealKind != taskq.KindNUMARestricted || g.Opt.NodeOf == nil {
+		return nil
+	}
+	counts := make([]int, len(g.queues))
+	for w := range counts {
+		for v := range g.queues {
+			if g.Opt.NodeOf[v] == g.Opt.NodeOf[w] {
+				counts[w]++
+			}
+		}
+	}
+	return counts
+}
+
+// adaptTenuring recomputes the tenuring threshold from the survivor age
+// table, as PSAdaptiveSizePolicy does: the threshold is the smallest age at
+// which cumulative survivor bytes exceed TargetSurvivorRatio (50%) of the
+// survivor capacity — heavy survival tenures earlier, light survival lets
+// objects age longer before promotion.
+func (g *Engine) adaptTenuring() {
+	cfg := g.H.Config()
+	target := cfg.SurvivorBytes / 2
+	var cum int64
+	threshold := uint8(15)
+	for age, bytes := range g.H.AgeTable() {
+		cum += bytes
+		if cum > target {
+			threshold = uint8(age)
+			break
+		}
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	if threshold != cfg.TenureAge {
+		cfg.TenureAge = threshold
+		_ = g.H.SetConfig(cfg)
+	}
+}
+
+// resize applies the final-phase feedback policy (§2.1): grow eden when
+// survivors indicate pressure, shrink it when the heap is mostly garbage.
+func (g *Engine) resize() {
+	cfg := g.H.Config()
+	_, from, _ := g.H.Usage()
+	surviveFrac := float64(from) / float64(cfg.SurvivorBytes)
+	switch {
+	case surviveFrac > 0.8 && cfg.EdenBytes < 2*g.initialEden:
+		cfg.EdenBytes = cfg.EdenBytes * 11 / 10
+		cfg.SurvivorBytes = cfg.SurvivorBytes * 11 / 10
+	case surviveFrac < 0.1 && cfg.EdenBytes > g.initialEden/2:
+		cfg.EdenBytes = cfg.EdenBytes * 19 / 20
+	default:
+		return
+	}
+	// Ignore errors: resizing below occupancy simply skips this round.
+	_ = g.H.SetConfig(cfg)
+}
+
+// MonitorStats returns the GCTaskManager monitor's lock statistics.
+func (g *Engine) MonitorStats() jmutex.Stats { return g.mgr.mon.Stats }
+
+// LockLog returns the GCTaskManager monitor's acquisition log (empty unless
+// Options.RecordLockLog was set).
+func (g *Engine) LockLog() []jmutex.AcqEvent { return g.mgr.mon.Log }

@@ -1,0 +1,82 @@
+package pscavenge
+
+import (
+	"repro/internal/cfs"
+	"repro/internal/jmutex"
+)
+
+// manager is the GCTaskManager of §2.2: a HotSpot monitor protecting the
+// global GCTaskQueue. GC threads fetch one task at a time (dynamic task
+// assignment); when the queue is empty they sleep on the monitor's WaitSet
+// until the next GC's NotifyAll.
+type manager struct {
+	g            *Engine
+	mon          *jmutex.Monitor
+	queue        []*GCTask
+	closed       bool
+	taskAffinity bool
+}
+
+func newManager(g *Engine, policy jmutex.Policy, taskAffinity bool) *manager {
+	return &manager{
+		g:            g,
+		mon:          jmutex.New(g.K, "GCTaskManager", policy),
+		taskAffinity: taskAffinity,
+	}
+}
+
+// getTask returns the next GC task for worker w, blocking between GCs.
+// A nil return means the manager was shut down.
+func (m *manager) getTask(e *cfs.Env, w int) *GCTask {
+	m.mon.Lock(e)
+	for len(m.queue) == 0 {
+		if m.closed {
+			m.mon.Unlock(e)
+			return nil
+		}
+		m.mon.Wait(e)
+	}
+	task := m.dequeue(w)
+	e.Compute(m.g.Costs.TaskDequeue) // the critical section's work
+	m.mon.Unlock(e)
+	if task.rep != nil {
+		task.rep.recordDispatch(w, int(e.Core()), task.Kind)
+	}
+	return task
+}
+
+// dequeue removes the task at the remove end, preferring (when task
+// affinity is enabled, §4.1) a task whose affinity matches the requesting
+// worker.
+func (m *manager) dequeue(w int) *GCTask {
+	idx := 0
+	if m.taskAffinity {
+		for i, t := range m.queue {
+			if t.Affinity == w {
+				idx = i
+				break
+			}
+		}
+	}
+	task := m.queue[idx]
+	m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
+	return task
+}
+
+// enqueueAll adds a GC cycle's tasks and wakes the GC threads (NotifyAll
+// transfers them from the WaitSet to cxq asleep; the unlock chain then
+// wakes them one OnDeck at a time — §2.4).
+func (m *manager) enqueueAll(e *cfs.Env, tasks []*GCTask) {
+	m.mon.Lock(e)
+	m.queue = append(m.queue, tasks...)
+	m.mon.NotifyAll(e)
+	m.mon.Unlock(e)
+}
+
+// close shuts the manager down, releasing all sleeping GC threads.
+func (m *manager) close(e *cfs.Env) {
+	m.mon.Lock(e)
+	m.closed = true
+	m.mon.NotifyAll(e)
+	m.mon.Unlock(e)
+}

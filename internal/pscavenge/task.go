@@ -1,0 +1,87 @@
+package pscavenge
+
+import (
+	"repro/internal/heap"
+	"repro/internal/simkit"
+)
+
+// TaskKind distinguishes the GC task types of §2.2.
+type TaskKind int
+
+const (
+	// TaskOldToYoungRoots scans a stripe of the remembered set.
+	TaskOldToYoungRoots TaskKind = iota
+	// TaskScavengeRoots scans a partition of the static/global roots.
+	TaskScavengeRoots
+	// TaskThreadRoots scans one mutator thread's stack roots.
+	TaskThreadRoots
+	// TaskSteal is the work-stealing + termination task (one per GC thread).
+	TaskSteal
+	// TaskMarkRoots marks from a root partition (full GC).
+	TaskMarkRoots
+	// TaskMarkSteal is the stealing task of the full-GC marking phase.
+	TaskMarkSteal
+	// TaskCompact is one parallel compaction region task (full GC).
+	TaskCompact
+
+	numTaskKinds = 7
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case TaskOldToYoungRoots:
+		return "OldToYoungRootsTask"
+	case TaskScavengeRoots:
+		return "ScavengeRootsTask"
+	case TaskThreadRoots:
+		return "ThreadRootsTask"
+	case TaskSteal:
+		return "StealTask"
+	case TaskMarkRoots:
+		return "MarkRootsTask"
+	case TaskMarkSteal:
+		return "MarkStealTask"
+	case TaskCompact:
+		return "CompactTask"
+	}
+	return "?"
+}
+
+// GCTask is an entry of the global GCTaskQueue.
+type GCTask struct {
+	Kind     TaskKind
+	Roots    []heap.ObjID // root partition (root task kinds)
+	Affinity int          // preferred GC thread, -1 = none (§4.1 task affinity)
+	Work     simkit.Time  // precomputed work (TaskCompact)
+
+	term *terminator // the GC cycle's terminator (steal kinds)
+	rep  *GCReport   // the GC cycle this task belongs to
+}
+
+// RootSet carries the roots of one collection.
+type RootSet struct {
+	// ThreadRoots holds each mutator thread's stack/local roots.
+	ThreadRoots [][]heap.ObjID
+	// StaticRoots holds global roots (classes, statics, JNI handles...).
+	StaticRoots []heap.ObjID
+}
+
+// partition splits ids into at most n non-empty chunks of balanced size.
+func partition(ids []heap.ObjID, n int) [][]heap.ObjID {
+	if len(ids) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	out := make([][]heap.ObjID, 0, n)
+	chunk := (len(ids) + n - 1) / n
+	for i := 0; i < len(ids); i += chunk {
+		end := i + chunk
+		if end > len(ids) {
+			end = len(ids)
+		}
+		out = append(out, ids[i:end])
+	}
+	return out
+}

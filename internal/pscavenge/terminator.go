@@ -1,0 +1,107 @@
+package pscavenge
+
+import (
+	"repro/internal/cfs"
+	"repro/internal/simkit"
+)
+
+// terminator implements the distributed termination protocol of §2.3: a GC
+// thread that has failed enough consecutive steal attempts offers
+// termination by incrementing a shared counter; while offered it
+// periodically peeks for new stealable work and returns to stealing if any
+// appears. The parallel phase ends when all participants have offered.
+//
+// The fast variant is the paper's FastParallelTaskTerminator (§4.2,
+// Algorithm 2): the failed-attempts threshold adapts to the number of
+// still-active (not-offered) threads, 2·N_live instead of 2·N.
+type terminator struct {
+	g           *Engine
+	total       int
+	offered     int
+	done        bool
+	fast        bool
+	completedAt simkit.Time
+	// localThreads, when > 0, replaces the threshold base with the
+	// thief's node-local thread count (Gidra's NUMA termination).
+	localThreads []int
+}
+
+func newTerminator(g *Engine, total int, fast bool, localThreads []int) *terminator {
+	return &terminator{g: g, total: total, fast: fast, localThreads: localThreads}
+}
+
+// threshold returns the consecutive-failure count after which worker w
+// offers termination.
+func (t *terminator) threshold(w int) int {
+	if t.fast {
+		live := t.total - t.offered
+		if live < 1 {
+			live = 1
+		}
+		return 2 * live
+	}
+	if t.localThreads != nil {
+		return 2 * t.localThreads[w]
+	}
+	return 2 * t.total
+}
+
+// peek reports whether any local queue has stealable work.
+func (t *terminator) peek() bool {
+	for i := range t.g.queues {
+		if t.g.queues[i].Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// offer enters the termination protocol for worker w. It returns true when
+// the parallel phase is over, false when the worker should resume stealing
+// (work reappeared). Time spent inside is the Fig. 6 "termination" share.
+func (t *terminator) offer(e *cfs.Env, w int) bool {
+	t.offered++
+	if t.offered >= t.total {
+		t.complete()
+		return true
+	}
+	spins := 0
+	for !t.done {
+		if t.peek() {
+			t.offered--
+			return false
+		}
+		if spins < 4 {
+			e.Compute(t.g.Costs.TermSpin)
+			e.YieldCPU()
+			spins++
+			continue
+		}
+		e.Sleep(t.g.Costs.TermSleep)
+	}
+	return true
+}
+
+// complete ends the parallel phase and wakes the VM thread.
+func (t *terminator) complete() {
+	t.done = true
+	t.completedAt = t.g.K.Sim.Now()
+	if t.g.vmThread != nil {
+		t.g.K.Unpark(t.g.vmThread)
+	}
+}
+
+// barrier is the simple completion counter used by phases without stealing
+// (full-GC compaction): the last finished task wakes the VM thread.
+type barrier struct {
+	g         *Engine
+	remaining int
+	start     simkit.Time
+}
+
+func (b *barrier) taskDone() {
+	b.remaining--
+	if b.remaining == 0 && b.g.vmThread != nil {
+		b.g.K.Unpark(b.g.vmThread)
+	}
+}

@@ -1,0 +1,172 @@
+// Package schedtrace renders cfs.Trace recordings as ASCII timelines —
+// cores down the side, time across — so scheduling phenomena like the
+// paper's GC thread stacking are visible at a glance:
+//
+//	cpu00 |MMMMMMMMMM----GGGGGGGGGGGGGGGGGGGGGG----MMMMMMMMM|
+//	cpu01 |MMMMMMMMMM----------------G-------------MMMMMMMMM|
+//	cpu02 |MMMMMMMMMM------------------------------MMMMMMMMM|
+//	        ^ mutators stop        ^ one core does all GC work
+//
+// Threads are classified by name: G = GC thread, V = VM thread,
+// M = mutator, B = busy loop, o = other; '-' is idle.
+package schedtrace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cfs"
+	"repro/internal/simkit"
+)
+
+// Classify maps a thread name to its timeline rune.
+func Classify(name string) byte {
+	switch {
+	case strings.HasPrefix(name, "GCTaskThread"):
+		return 'G'
+	case strings.HasPrefix(name, "VMThread"):
+		return 'V'
+	case strings.HasPrefix(name, "mutator"):
+		return 'M'
+	case strings.HasPrefix(name, "busyloop"):
+		return 'B'
+	default:
+		return 'o'
+	}
+}
+
+// Options configure rendering.
+type Options struct {
+	// Width is the number of time buckets (default 100).
+	Width int
+	// Legend appends the classification legend (default true when zero
+	// value is used via Render).
+	Legend bool
+}
+
+// Render writes an ASCII timeline of tr over [from, to) to w, one row per
+// core. Each bucket shows the class of the thread that ran longest in it.
+func Render(w io.Writer, tr *cfs.Trace, cores int, from, to simkit.Time, opt Options) {
+	width := opt.Width
+	if width <= 0 {
+		width = 100
+	}
+	if to <= from {
+		fmt.Fprintln(w, "(empty trace window)")
+		return
+	}
+	bucket := (to - from) / simkit.Time(width)
+	if bucket <= 0 {
+		bucket = 1
+	}
+	// rows[core][bucket] -> accumulated run time per class.
+	type cell map[byte]simkit.Time
+	rows := make([][]cell, cores)
+	for c := range rows {
+		rows[c] = make([]cell, width)
+	}
+	for _, s := range tr.Window(from, to) {
+		core := int(s.Core)
+		if core < 0 || core >= cores {
+			continue
+		}
+		cls := Classify(s.Thread.Name)
+		start, end := s.Start, s.End
+		if end < 0 || end > to {
+			end = to
+		}
+		if start < from {
+			start = from
+		}
+		for t := start; t < end; {
+			bi := int((t - from) / bucket)
+			if bi >= width {
+				break
+			}
+			bEnd := from + simkit.Time(bi+1)*bucket
+			if bEnd > end {
+				bEnd = end
+			}
+			if rows[core][bi] == nil {
+				rows[core][bi] = cell{}
+			}
+			rows[core][bi][cls] += bEnd - t
+			t = bEnd
+		}
+	}
+	fmt.Fprintf(w, "time %v .. %v (%v per column)\n", from, to, bucket)
+	for c := 0; c < cores; c++ {
+		var b strings.Builder
+		for bi := 0; bi < width; bi++ {
+			ch := byte('-')
+			var best simkit.Time
+			for cls, d := range rows[c][bi] {
+				if d > best {
+					best, ch = d, cls
+				}
+			}
+			b.WriteByte(ch)
+		}
+		fmt.Fprintf(w, "cpu%02d |%s|\n", c, b.String())
+	}
+	if opt.Legend {
+		fmt.Fprintln(w, "legend: G=GC thread  V=VM thread  M=mutator  B=busy loop  o=other  -=idle")
+	}
+}
+
+// CoresActive counts distinct cores on which threads of the given class
+// ran within [from, to).
+func CoresActive(tr *cfs.Trace, class byte, from, to simkit.Time) int {
+	seen := map[int]bool{}
+	for _, s := range tr.Window(from, to) {
+		if Classify(s.Thread.Name) == class {
+			seen[int(s.Core)] = true
+		}
+	}
+	return len(seen)
+}
+
+// Validate checks trace invariants: per-core segments must not overlap,
+// and no thread may run on two cores at once. It returns the first
+// violation found, or nil.
+func Validate(tr *cfs.Trace) error {
+	type span struct {
+		start, end simkit.Time
+		seg        cfs.Segment
+	}
+	byCore := map[int][]span{}
+	byThread := map[*cfs.Thread][]span{}
+	for _, s := range tr.Segments {
+		end := s.End
+		if end < 0 {
+			continue // still open
+		}
+		if end < s.Start {
+			return fmt.Errorf("schedtrace: segment with negative length on cpu%d", s.Core)
+		}
+		byCore[int(s.Core)] = append(byCore[int(s.Core)], span{s.Start, end, s})
+		byThread[s.Thread] = append(byThread[s.Thread], span{s.Start, end, s})
+	}
+	check := func(kind string, spans []span) error {
+		// Spans are appended in time order by construction; verify.
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end {
+				return fmt.Errorf("schedtrace: overlapping %s segments at %v (%s vs %s)",
+					kind, spans[i].start, spans[i-1].seg.Thread.Name, spans[i].seg.Thread.Name)
+			}
+		}
+		return nil
+	}
+	for c, spans := range byCore {
+		if err := check(fmt.Sprintf("cpu%d", c), spans); err != nil {
+			return err
+		}
+	}
+	for t, spans := range byThread {
+		if err := check("thread "+t.Name, spans); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package schedtrace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+const ms = simkit.Millisecond
+
+func tracedKernel(t *testing.T, cores int) (*simkit.Sim, *cfs.Kernel, *cfs.Trace) {
+	t.Helper()
+	sim := simkit.New(1)
+	t.Cleanup(sim.Close)
+	topo := &ostopo.Topology{PhysCores: cores, SMTWays: 1, Nodes: 1}
+	k := cfs.NewKernel(sim, topo, cfs.DefaultParams())
+	tr := cfs.NewTrace()
+	k.SetTrace(tr)
+	return sim, k, tr
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]byte{
+		"GCTaskThread#3": 'G',
+		"VMThread":       'V',
+		"mutator#12":     'M',
+		"busyloop#0":     'B',
+		"whatever":       'o',
+	}
+	for name, want := range cases {
+		if got := Classify(name); got != want {
+			t.Errorf("Classify(%q) = %c, want %c", name, got, want)
+		}
+	}
+}
+
+func TestTraceRecordsSegments(t *testing.T) {
+	sim, k, tr := tracedKernel(t, 2)
+	th := k.Spawn("mutator#0", 0, func(e *cfs.Env) {
+		e.Compute(2 * ms)
+		e.Sleep(1 * ms)
+		e.Compute(2 * ms)
+	})
+	for th.State() != cfs.StateDone && sim.Step() {
+	}
+	tr.CloseOpen(sim.Now())
+	if len(tr.Segments) < 2 {
+		t.Fatalf("expected >= 2 segments (sleep splits the run), got %d", len(tr.Segments))
+	}
+	if got := tr.BusyTime(th); got != th.CPUTime {
+		t.Errorf("BusyTime = %v, CPUTime = %v; must agree", got, th.CPUTime)
+	}
+	if err := Validate(tr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceBusyTimeMatchesCPUTimeUnderContention(t *testing.T) {
+	sim, k, tr := tracedKernel(t, 2)
+	var ths []*cfs.Thread
+	for i := 0; i < 5; i++ {
+		ths = append(ths, k.Spawn("mutator#x", 0, func(e *cfs.Env) {
+			for j := 0; j < 10; j++ {
+				e.Compute(1 * ms)
+				e.Sleep(simkit.Time(j%3) * 100 * simkit.Microsecond)
+			}
+		}))
+	}
+	done := func() bool {
+		for _, th := range ths {
+			if th.State() != cfs.StateDone {
+				return false
+			}
+		}
+		return true
+	}
+	for !done() && sim.Step() {
+	}
+	tr.CloseOpen(sim.Now())
+	if err := Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	for i, th := range ths {
+		if tr.BusyTime(th) != th.CPUTime {
+			t.Errorf("thread %d: trace busy %v != CPUTime %v", i, tr.BusyTime(th), th.CPUTime)
+		}
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	sim, k, tr := tracedKernel(t, 3)
+	th := k.Spawn("GCTaskThread#0", 1, func(e *cfs.Env) { e.Compute(10 * ms) })
+	for th.State() != cfs.StateDone && sim.Step() {
+	}
+	tr.CloseOpen(sim.Now())
+	var b strings.Builder
+	Render(&b, tr, 3, 0, 10*ms, Options{Width: 20, Legend: true})
+	out := b.String()
+	if !strings.Contains(out, "cpu01 |GGGGGGGGGGGGGGGGGGGG|") {
+		t.Errorf("cpu01 row should be all G:\n%s", out)
+	}
+	if !strings.Contains(out, "cpu00 |--------------------|") {
+		t.Errorf("cpu00 row should be idle:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRenderEmptyWindow(t *testing.T) {
+	var b strings.Builder
+	Render(&b, cfs.NewTrace(), 2, 10, 10, Options{})
+	if !strings.Contains(b.String(), "empty trace window") {
+		t.Error("empty window not reported")
+	}
+}
+
+func TestCoresActive(t *testing.T) {
+	sim, k, tr := tracedKernel(t, 4)
+	var ths []*cfs.Thread
+	for i := 0; i < 3; i++ {
+		ths = append(ths, k.Spawn("GCTaskThread#x", ostopo.CoreID(i), func(e *cfs.Env) {
+			e.Compute(1 * ms)
+		}))
+	}
+	done := func() bool {
+		for _, th := range ths {
+			if th.State() != cfs.StateDone {
+				return false
+			}
+		}
+		return true
+	}
+	for !done() && sim.Step() {
+	}
+	tr.CloseOpen(sim.Now())
+	if n := CoresActive(tr, 'G', 0, sim.Now()); n != 3 {
+		t.Errorf("CoresActive(G) = %d, want 3", n)
+	}
+	if n := CoresActive(tr, 'M', 0, sim.Now()); n != 0 {
+		t.Errorf("CoresActive(M) = %d, want 0", n)
+	}
+}
+
+func TestWindowFiltering(t *testing.T) {
+	sim, k, tr := tracedKernel(t, 1)
+	th := k.Spawn("mutator#0", 0, func(e *cfs.Env) {
+		e.Compute(2 * ms)
+		e.Sleep(2 * ms)
+		e.Compute(2 * ms)
+	})
+	for th.State() != cfs.StateDone && sim.Step() {
+	}
+	tr.CloseOpen(sim.Now())
+	// Only the first compute overlaps [0, 2ms).
+	if n := len(tr.Window(0, 2*ms)); n != 1 {
+		t.Errorf("Window(0,2ms) = %d segments, want 1", n)
+	}
+	// The sleep gap [2.1ms, 3.9ms) overlaps nothing.
+	if n := len(tr.Window(2*ms+200_000, 4*ms-200_000)); n != 0 {
+		t.Errorf("sleep-gap window = %d segments, want 0", n)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	tr := cfs.NewTrace()
+	// Forge overlapping segments directly.
+	sim := simkit.New(1)
+	defer sim.Close()
+	topo := &ostopo.Topology{PhysCores: 1, SMTWays: 1, Nodes: 1}
+	k := cfs.NewKernel(sim, topo, cfs.DefaultParams())
+	th := k.Spawn("x", 0, func(e *cfs.Env) {})
+	tr.Segments = []cfs.Segment{
+		{Core: 0, Thread: th, Start: 0, End: 10},
+		{Core: 0, Thread: th, Start: 5, End: 15},
+	}
+	if err := Validate(tr); err == nil {
+		t.Error("Validate missed an overlap")
+	}
+}
+
+// TestKernelConservationProperty is a property test over random workloads:
+// (1) trace invariants hold (no overlaps, no bilocation);
+// (2) per-thread trace busy time equals the kernel's CPUTime accounting;
+// (3) total busy time never exceeds cores × wall time (no CPU is conjured);
+// (4) every thread received exactly the CPU it asked for (work conservation
+//
+//	at the request level: bodies finish only when their work is done).
+func TestKernelConservationProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		sim := simkit.New(seed)
+		topo := &ostopo.Topology{PhysCores: 4, SMTWays: 1, Nodes: 2}
+		k := cfs.NewKernel(sim, topo, cfs.DefaultParams())
+		tr := cfs.NewTrace()
+		k.SetTrace(tr)
+		rng := sim.Rand()
+		type spec struct {
+			th   *cfs.Thread
+			want simkit.Time
+		}
+		var specs []spec
+		for i := 0; i < 10; i++ {
+			chunks := 5 + rng.Intn(20)
+			var want simkit.Time
+			var plan []simkit.Time
+			for c := 0; c < chunks; c++ {
+				d := simkit.Time(1+rng.Intn(2000)) * simkit.Microsecond
+				plan = append(plan, d)
+				want += d
+			}
+			core := ostopo.CoreID(rng.Intn(topo.NumCPUs()))
+			sleepy := rng.Intn(2) == 0
+			th := k.Spawn("mutator#p", core, func(e *cfs.Env) {
+				for _, d := range plan {
+					e.Compute(d)
+					if sleepy {
+						e.Sleep(simkit.Time(1+e.Rand().Intn(500)) * simkit.Microsecond)
+					}
+				}
+			})
+			specs = append(specs, spec{th, want})
+		}
+		for {
+			done := true
+			for _, s := range specs {
+				if s.th.State() != cfs.StateDone {
+					done = false
+					break
+				}
+			}
+			if done || !sim.Step() {
+				break
+			}
+		}
+		tr.CloseOpen(sim.Now())
+		if err := Validate(tr); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var totalBusy simkit.Time
+		for _, s := range specs {
+			if s.th.State() != cfs.StateDone {
+				t.Fatalf("seed %d: thread not done", seed)
+			}
+			busy := tr.BusyTime(s.th)
+			if busy != s.th.CPUTime {
+				t.Errorf("seed %d: trace busy %v != CPUTime %v", seed, busy, s.th.CPUTime)
+			}
+			// CPUTime covers the requested work plus charged context-switch
+			// overhead; it must never be below the requested work.
+			if s.th.CPUTime < s.want {
+				t.Errorf("seed %d: CPUTime %v below requested work %v", seed, s.th.CPUTime, s.want)
+			}
+			totalBusy += busy
+		}
+		if cap := simkit.Time(topo.NumCPUs()) * sim.Now(); totalBusy > cap {
+			t.Errorf("seed %d: total busy %v exceeds machine capacity %v", seed, totalBusy, cap)
+		}
+		sim.Close()
+	}
+}

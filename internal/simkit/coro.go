@@ -1,0 +1,94 @@
+package simkit
+
+// Coro is a cooperative coroutine yielding values of type T to its driver.
+// It backs the simulated-thread machinery: a thread body runs inside a Coro
+// and yields timed requests (compute, block, ...) to the scheduler model.
+//
+// Exactly one side runs at a time: the driver blocks in Next while the body
+// runs, and the body blocks in yield while the driver runs. This lock-step
+// handoff is what keeps the simulation deterministic and race-free even
+// though each coroutine is a real goroutine.
+//
+// A Coro must be driven from a single goroutine (the simulation loop).
+type Coro[T any] struct {
+	out     chan T
+	in      chan struct{}
+	done    chan struct{} // closed when the body goroutine has exited
+	dead    bool          // body returned or Stop called; no more Next allowed
+	stopped bool          // Stop was called (in channel closed)
+}
+
+// coroStop is the sentinel panic used to unwind a stopped coroutine body.
+type coroStopSentinel struct{}
+
+// NewCoro creates a coroutine running body. The body does not start until
+// the first Next call. The body's yield function suspends it and delivers v
+// to the driver. If the coroutine is registered with a Sim, Sim.Close stops
+// it; otherwise Stop must be called if the body may still be suspended when
+// the coroutine is discarded.
+func NewCoro[T any](sim *Sim, body func(yield func(v T))) *Coro[T] {
+	c := &Coro[T]{out: make(chan T), in: make(chan struct{}), done: make(chan struct{})}
+	if sim != nil {
+		sim.register(c)
+	}
+	go func() {
+		defer close(c.done)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(coroStopSentinel); !ok {
+					panic(r)
+				}
+				return // stopped: exit silently without touching channels
+			}
+			close(c.out)
+		}()
+		if _, ok := <-c.in; !ok {
+			panic(coroStopSentinel{})
+		}
+		body(func(v T) {
+			c.out <- v
+			if _, ok := <-c.in; !ok {
+				panic(coroStopSentinel{})
+			}
+		})
+	}()
+	return c
+}
+
+// Next resumes the coroutine until its next yield. It returns (value, true)
+// for a yield and (zero, false) once the body has returned. Calling Next on
+// a finished or stopped coroutine returns (zero, false).
+func (c *Coro[T]) Next() (T, bool) {
+	if c.dead {
+		var zero T
+		return zero, false
+	}
+	c.in <- struct{}{}
+	v, ok := <-c.out
+	if !ok {
+		c.dead = true
+	}
+	return v, ok
+}
+
+// Stop terminates a suspended coroutine, releasing its goroutine, and
+// returns once the body (including its deferred functions) has finished
+// unwinding. It is a no-op on a finished or already-stopped coroutine.
+// Stop must not be called while the body is running (i.e. from inside the
+// body).
+func (c *Coro[T]) Stop() { c.stop() }
+
+func (c *Coro[T]) stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	if !c.dead {
+		c.dead = true
+		close(c.in)
+	}
+	<-c.done
+}
+
+// Done reports whether the coroutine has finished or been stopped.
+func (c *Coro[T]) Done() bool { return c.dead }

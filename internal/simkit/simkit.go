@@ -1,0 +1,200 @@
+// Package simkit provides a deterministic discrete-event simulation kernel:
+// a virtual nanosecond clock, a cancellable event queue, a seeded random
+// number generator, and cooperative coroutine processes.
+//
+// All upper layers of this repository (the CFS scheduler model, the HotSpot
+// monitor model, the Parallel Scavenge engine) are built on this kernel.
+// Determinism is guaranteed by (a) a total order on events — (time, sequence
+// number) — and (b) the coroutine machinery, which ensures at most one
+// simulated process executes at any moment.
+package simkit
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Convenient duration units (Time doubles as a duration type).
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders a Time using the most readable unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Event is a scheduled callback. It can be cancelled until it fires.
+type Event struct {
+	at   Time
+	seq  uint64
+	idx  int // heap index; -1 once fired or cancelled
+	fn   func()
+	dead bool
+}
+
+// At reports when the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still scheduled.
+func (e *Event) Pending() bool { return e != nil && !e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator instance. It is not safe for concurrent
+// use; the whole simulation is single-threaded by design.
+type Sim struct {
+	now   Time
+	seq   uint64
+	pq    eventHeap
+	rng   *rand.Rand
+	fired uint64
+	coros []stopper // registered coroutines, for cleanup
+}
+
+type stopper interface{ stop() }
+
+// New creates a simulator with a deterministic RNG seeded by seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random number generator.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the caller; it is clamped to "now" to keep the clock monotonic.
+func (s *Sim) At(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.pq, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) *Event { return s.At(s.now+d, fn) }
+
+// Cancel removes a pending event. Cancelling a fired or already-cancelled
+// event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	if e.idx >= 0 {
+		heap.Remove(&s.pq, e.idx)
+		e.idx = -1
+	}
+}
+
+// Step fires the next event. It returns false when the queue is empty.
+func (s *Sim) Step() bool {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(*Event)
+		if e.dead {
+			continue
+		}
+		e.dead = true
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain pending.
+func (s *Sim) RunUntil(t Time) {
+	for s.pq.Len() > 0 {
+		if next := s.pq[0]; next.dead {
+			heap.Pop(&s.pq)
+			continue
+		} else if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor executes events for the next d nanoseconds of virtual time.
+func (s *Sim) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+// Close stops every registered coroutine, releasing their goroutines. A Sim
+// must be closed when discarded before all coroutines have finished (for
+// example in tests that run many simulations).
+func (s *Sim) Close() {
+	for _, c := range s.coros {
+		c.stop()
+	}
+	s.coros = nil
+}
+
+func (s *Sim) register(c stopper) { s.coros = append(s.coros, c) }

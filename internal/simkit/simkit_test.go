@@ -1,0 +1,326 @@
+package simkit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{Second + 500*Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := (5 * Millisecond).Millis(); got != 5.0 {
+		t.Errorf("Millis() = %v, want 5", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", s.Now())
+	}
+}
+
+func TestEventTieBreakBySequence(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(100, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.At(50, func() {
+		s.After(25, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 75 {
+		t.Errorf("After fired at %v, want 75", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	e := s.At(10, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() {
+		t.Error("cancelled event still pending")
+	}
+	// Cancelling again, or cancelling nil, must be a no-op.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	var e2 *Event
+	s.At(10, func() { s.Cancel(e2) })
+	e2 = s.At(20, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Error("event cancelled by earlier event still fired")
+	}
+}
+
+func TestPastSchedulingClampsToNow(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.At(100, func() {
+		s.At(5, func() { at = s.Now() }) // in the past
+	})
+	s.Run()
+	if at != 100 {
+		t.Errorf("past event fired at %v, want clamped to 100", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, tt := range []Time{10, 20, 30, 40} {
+		tt := tt
+		s.At(tt, func() { fired = append(fired, tt) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v, want events at 10, 20", fired)
+	}
+	if s.Now() != 25 {
+		t.Errorf("Now() = %v, want 25", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Errorf("after RunUntil(100) fired %v, want all 4", fired)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.At(5, func() { n++ })
+	s.At(15, func() { n++ })
+	s.RunFor(10)
+	if n != 1 || s.Now() != 10 {
+		t.Errorf("RunFor(10): n=%d now=%v, want n=1 now=10", n, s.Now())
+	}
+}
+
+func TestDeterministicRNG(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	// Property: regardless of the scheduling pattern, the clock never goes
+	// backwards while firing events.
+	check := func(offsets []uint16) bool {
+		s := New(7)
+		last := Time(-1)
+		ok := true
+		for _, off := range offsets {
+			s.At(Time(off), func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.At(Time(i), func() {})
+	}
+	e := s.At(10, func() {})
+	s.Cancel(e)
+	s.Run()
+	if s.Fired() != 5 {
+		t.Errorf("Fired() = %d, want 5", s.Fired())
+	}
+}
+
+func TestCoroBasic(t *testing.T) {
+	s := New(1)
+	c := NewCoro(s, func(yield func(int)) {
+		yield(1)
+		yield(2)
+		yield(3)
+	})
+	for want := 1; want <= 3; want++ {
+		v, ok := c.Next()
+		if !ok || v != want {
+			t.Fatalf("Next() = (%d, %v), want (%d, true)", v, ok, want)
+		}
+	}
+	if _, ok := c.Next(); ok {
+		t.Error("Next() after body return reported ok")
+	}
+	if !c.Done() {
+		t.Error("Done() = false after completion")
+	}
+	// Next on a finished coroutine stays safe.
+	if _, ok := c.Next(); ok {
+		t.Error("Next() on finished coroutine reported ok")
+	}
+}
+
+func TestCoroLockstep(t *testing.T) {
+	// The body must only advance while the driver is inside Next.
+	s := New(1)
+	stage := 0
+	c := NewCoro(s, func(yield func(int)) {
+		stage = 1
+		yield(0)
+		stage = 2
+		yield(0)
+		stage = 3
+	})
+	if stage != 0 {
+		t.Fatal("body ran before first Next")
+	}
+	c.Next()
+	if stage != 1 {
+		t.Fatalf("stage = %d after first Next, want 1", stage)
+	}
+	c.Next()
+	if stage != 2 {
+		t.Fatalf("stage = %d after second Next, want 2", stage)
+	}
+	c.Next()
+	if stage != 3 {
+		t.Fatalf("stage = %d after final Next, want 3", stage)
+	}
+}
+
+func TestCoroStopReleasesGoroutine(t *testing.T) {
+	s := New(1)
+	cleanup := false
+	c := NewCoro(s, func(yield func(int)) {
+		defer func() { cleanup = true }()
+		yield(1)
+		yield(2)
+	})
+	c.Next()
+	c.Stop()
+	if !c.Done() {
+		t.Error("Done() = false after Stop")
+	}
+	if _, ok := c.Next(); ok {
+		t.Error("Next() after Stop reported ok")
+	}
+	// Stop is synchronous: the body's deferred functions have run.
+	if !cleanup {
+		t.Error("deferred cleanup did not run before Stop returned")
+	}
+	// Stop twice is a no-op.
+	c.Stop()
+}
+
+func TestCoroStopBeforeStart(t *testing.T) {
+	s := New(1)
+	ran := false
+	c := NewCoro(s, func(yield func(int)) { ran = true })
+	c.Stop()
+	if _, ok := c.Next(); ok {
+		t.Error("Next() after Stop-before-start reported ok")
+	}
+	if ran {
+		t.Error("body ran despite Stop before first Next")
+	}
+}
+
+func TestSimCloseStopsCoros(t *testing.T) {
+	s := New(1)
+	var cs []*Coro[int]
+	for i := 0; i < 10; i++ {
+		c := NewCoro(s, func(yield func(int)) {
+			for {
+				yield(0)
+			}
+		})
+		c.Next()
+		cs = append(cs, c)
+	}
+	s.Close()
+	for i, c := range cs {
+		if !c.Done() {
+			t.Errorf("coroutine %d not stopped by Sim.Close", i)
+		}
+	}
+	s.Close() // idempotent
+}
+
+func TestCoroManyInterleaved(t *testing.T) {
+	// Drive several coroutines in a round-robin and verify each maintains
+	// independent state.
+	s := New(1)
+	const n = 8
+	cs := make([]*Coro[int], n)
+	for i := 0; i < n; i++ {
+		base := i * 100
+		cs[i] = NewCoro(s, func(yield func(int)) {
+			for k := 0; k < 5; k++ {
+				yield(base + k)
+			}
+		})
+	}
+	for k := 0; k < 5; k++ {
+		for i := 0; i < n; i++ {
+			v, ok := cs[i].Next()
+			if !ok || v != i*100+k {
+				t.Fatalf("coro %d round %d: got (%d,%v), want (%d,true)", i, k, v, ok, i*100+k)
+			}
+		}
+	}
+}

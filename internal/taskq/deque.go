@@ -1,0 +1,70 @@
+// Package taskq provides the intra-GC work-distribution machinery of
+// Parallel Scavenge (§2.3): the per-thread GenericTaskQueue deque holding
+// fine-grained tasks, and the victim-selection policies used by work
+// stealing — HotSpot's steal_best_of_2, the paper's optimized semi-random
+// variant (Algorithm 2), the NUMA-restricted stealing of Gidra et al., and
+// the SmartStealing heuristic of Qian et al. (both evaluated as baselines).
+package taskq
+
+// Deque is a work-stealing double-ended queue. The owner pushes and pops at
+// the bottom (LIFO, depth-first locality); thieves steal from the top
+// (FIFO, taking the oldest — usually largest — subtree). The simulation is
+// single-threaded by construction, so no synchronization is needed; the
+// semantics mirror HotSpot's GenericTaskQueue.
+type Deque[T any] struct {
+	items []T
+	top   int // index of the oldest element
+
+	Pushes int
+	Steals int // successful PopTop calls
+}
+
+// Len returns the number of queued tasks.
+func (d *Deque[T]) Len() int { return len(d.items) - d.top }
+
+// Empty reports whether the deque has no tasks.
+func (d *Deque[T]) Empty() bool { return d.Len() == 0 }
+
+// PushBottom adds a task at the owner's end.
+func (d *Deque[T]) PushBottom(v T) {
+	d.items = append(d.items, v)
+	d.Pushes++
+}
+
+// PopBottom removes the most recently pushed task (owner side).
+func (d *Deque[T]) PopBottom() (T, bool) {
+	var zero T
+	if d.Empty() {
+		d.reset()
+		return zero, false
+	}
+	v := d.items[len(d.items)-1]
+	d.items[len(d.items)-1] = zero
+	d.items = d.items[:len(d.items)-1]
+	if d.Empty() {
+		d.reset()
+	}
+	return v, true
+}
+
+// PopTop removes the oldest task (thief side).
+func (d *Deque[T]) PopTop() (T, bool) {
+	var zero T
+	if d.Empty() {
+		d.reset()
+		return zero, false
+	}
+	v := d.items[d.top]
+	d.items[d.top] = zero
+	d.top++
+	d.Steals++
+	if d.Empty() {
+		d.reset()
+	}
+	return v, true
+}
+
+func (d *Deque[T]) reset() {
+	d.items = d.items[:0]
+	d.top = 0
+}

@@ -1,0 +1,286 @@
+package taskq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 1; i <= 3; i++ {
+		d.PushBottom(i)
+	}
+	for want := 3; want >= 1; want-- {
+		v, ok := d.PopBottom()
+		if !ok || v != want {
+			t.Fatalf("PopBottom = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Error("PopBottom on empty deque succeeded")
+	}
+}
+
+func TestDequeThiefFIFO(t *testing.T) {
+	var d Deque[int]
+	for i := 1; i <= 3; i++ {
+		d.PushBottom(i)
+	}
+	for want := 1; want <= 3; want++ {
+		v, ok := d.PopTop()
+		if !ok || v != want {
+			t.Fatalf("PopTop = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := d.PopTop(); ok {
+		t.Error("PopTop on empty deque succeeded")
+	}
+	if d.Steals != 3 {
+		t.Errorf("Steals = %d, want 3", d.Steals)
+	}
+}
+
+func TestDequeMixedEnds(t *testing.T) {
+	var d Deque[int]
+	d.PushBottom(1)
+	d.PushBottom(2)
+	d.PushBottom(3)
+	if v, _ := d.PopTop(); v != 1 {
+		t.Errorf("PopTop = %d, want 1", v)
+	}
+	if v, _ := d.PopBottom(); v != 3 {
+		t.Errorf("PopBottom = %d, want 3", v)
+	}
+	d.PushBottom(4)
+	if v, _ := d.PopTop(); v != 2 {
+		t.Errorf("PopTop = %d, want 2", v)
+	}
+	if v, _ := d.PopBottom(); v != 4 {
+		t.Errorf("PopBottom = %d, want 4", v)
+	}
+	if !d.Empty() || d.Len() != 0 {
+		t.Error("deque not empty after draining")
+	}
+}
+
+func TestDequeStorageReclaimedWhenEmpty(t *testing.T) {
+	var d Deque[int]
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 10; i++ {
+			d.PushBottom(i)
+		}
+		for i := 0; i < 10; i++ {
+			d.PopTop()
+		}
+	}
+	if cap(d.items) > 64 {
+		t.Errorf("deque storage grew to %d despite resets", cap(d.items))
+	}
+}
+
+// TestDequeConservation: a random sequence of operations never loses or
+// duplicates a task.
+func TestDequeConservation(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		var d Deque[int]
+		next := 0
+		seen := map[int]int{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				d.PushBottom(next)
+				next++
+			case 1:
+				if v, ok := d.PopBottom(); ok {
+					seen[v]++
+				}
+			case 2:
+				if v, ok := d.PopTop(); ok {
+					seen[v]++
+				}
+			}
+		}
+		for d.Len() > 0 {
+			v, _ := d.PopBottom()
+			seen[v]++
+		}
+		if len(seen) != next {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fakePool implements Pool over fixed lengths.
+type fakePool []int
+
+func (p fakePool) NumQueues() int     { return len(p) }
+func (p fakePool) QueueLen(i int) int { return p[i] }
+
+func TestBestOf2PicksLonger(t *testing.T) {
+	pool := fakePool{0, 10, 2, 0}
+	rng := rand.New(rand.NewSource(1))
+	p := NewBestOf2()
+	counts := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		v := p.ChooseVictim(0, pool, rng)
+		if v == 0 {
+			t.Fatal("chose self")
+		}
+		counts[v]++
+	}
+	// Queue 1 (len 10) must dominate: it wins every pairing it appears in.
+	if counts[1] < counts[2] || counts[1] < counts[3] {
+		t.Errorf("longer queue not preferred: %v", counts)
+	}
+}
+
+func TestBestOf2TooFewQueues(t *testing.T) {
+	p := NewBestOf2()
+	if v := p.ChooseVictim(0, fakePool{5}, rand.New(rand.NewSource(1))); v != -1 {
+		t.Errorf("single-queue pool returned victim %d, want -1", v)
+	}
+}
+
+func TestSemiRandomRemembersSuccess(t *testing.T) {
+	pool := fakePool{0, 5, 5, 5}
+	rng := rand.New(rand.NewSource(1))
+	p := NewSemiRandom(4)
+	p.RecordResult(0, 2, true)
+	// With queue 2 remembered and all lengths equal, victim 2 must appear
+	// at least as one of the two candidates every time; over many draws it
+	// must be chosen far more often than under uniform best-of-2.
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if p.ChooseVictim(0, pool, rng) == 2 {
+			hits++
+		}
+	}
+	if hits < 400 {
+		t.Errorf("remembered victim chosen only %d/1000 times", hits)
+	}
+}
+
+func TestSemiRandomGivesUpWhenBothEmpty(t *testing.T) {
+	pool := fakePool{0, 0, 0, 0}
+	rng := rand.New(rand.NewSource(1))
+	p := NewSemiRandom(4)
+	if v := p.ChooseVictim(0, pool, rng); v != -1 {
+		t.Errorf("ChooseVictim on all-empty pool = %d, want -1", v)
+	}
+}
+
+func TestSemiRandomForgetsFailedVictim(t *testing.T) {
+	p := NewSemiRandom(4).(*semiRandom)
+	p.RecordResult(0, 2, true)
+	if p.lastSuccess[0] != 2 {
+		t.Fatal("success not recorded")
+	}
+	p.RecordResult(0, 2, false)
+	if p.lastSuccess[0] != -1 {
+		t.Error("failure on remembered victim did not reset it")
+	}
+}
+
+func TestNUMARestrictedStaysLocal(t *testing.T) {
+	// Queues 0-3 on node 0, 4-7 on node 1.
+	nodeOf := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	pool := fakePool{1, 1, 1, 1, 100, 100, 100, 100}
+	rng := rand.New(rand.NewSource(1))
+	p := NewNUMARestricted(nodeOf)
+	for i := 0; i < 200; i++ {
+		v := p.ChooseVictim(0, pool, rng)
+		if v < 0 || nodeOf[v] != 0 {
+			t.Fatalf("victim %d not on thief's node", v)
+		}
+	}
+	if n := p.(*numaRestricted).LocalThreads(0); n != 4 {
+		t.Errorf("LocalThreads(0) = %d, want 4", n)
+	}
+	if n := p.(*numaRestricted).LocalThreads(5); n != 4 {
+		t.Errorf("LocalThreads(5) = %d, want 4", n)
+	}
+}
+
+func TestSmartStealingSticksAndAborts(t *testing.T) {
+	pool := fakePool{0, 3, 3, 3}
+	rng := rand.New(rand.NewSource(1))
+	p := NewSmartStealing(4)
+	if !p.AbortOnFailure() {
+		t.Error("SmartStealing must abort on failure")
+	}
+	p.RecordResult(0, 3, true)
+	for i := 0; i < 50; i++ {
+		if v := p.ChooseVictim(0, pool, rng); v != 3 {
+			t.Fatalf("did not stick to successful victim: got %d", v)
+		}
+	}
+	p.RecordResult(0, 3, false)
+	// After failure the memory resets; victims vary again.
+	varied := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		varied[p.ChooseVictim(0, pool, rng)] = true
+	}
+	if len(varied) < 2 {
+		t.Errorf("after reset victims did not vary: %v", varied)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	s := NewStats(3)
+	s.Attempts[0] = 10
+	s.Failures[0] = 4
+	s.Attempts[2] = 5
+	s.Failures[2] = 5
+	if s.TotalAttempts() != 15 || s.TotalFailures() != 9 {
+		t.Errorf("totals = (%d,%d), want (15,9)", s.TotalAttempts(), s.TotalFailures())
+	}
+	if r := s.FailureRate(); r < 0.59 || r > 0.61 {
+		t.Errorf("FailureRate = %v, want 0.6", r)
+	}
+	other := NewStats(3)
+	other.Attempts[1] = 7
+	s.Merge(other)
+	if s.TotalAttempts() != 22 {
+		t.Errorf("after merge TotalAttempts = %d, want 22", s.TotalAttempts())
+	}
+	if (&Stats{Attempts: []int64{0}, Failures: []int64{0}}).FailureRate() != 0 {
+		t.Error("FailureRate on empty stats should be 0")
+	}
+}
+
+func TestPolicyKindMake(t *testing.T) {
+	nodeOf := []int{0, 0, 1, 1}
+	for _, k := range []PolicyKind{KindBestOf2, KindSemiRandom, KindNUMARestricted, KindSmartStealing} {
+		p := k.Make(4, nodeOf)
+		if p == nil {
+			t.Fatalf("Make(%v) returned nil", k)
+		}
+		if p.Name() != k.String() {
+			t.Errorf("kind %v produced policy %q", k, p.Name())
+		}
+	}
+	if PolicyKind(9).String() != "PolicyKind(9)" {
+		t.Error("unknown kind String() wrong")
+	}
+}
+
+func TestRandOtherNeverSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for self := 0; self < 5; self++ {
+		for i := 0; i < 100; i++ {
+			if v := randOther(self, 5, rng); v == self || v < 0 || v >= 5 {
+				t.Fatalf("randOther(%d,5) = %d", self, v)
+			}
+		}
+	}
+}
