@@ -1,0 +1,30 @@
+# Developer / CI entry points. `make check` is the CI gate: it vets the
+# tree and runs every test under the race detector, covering the parallel
+# experiment runner and the concurrency-sensitive stats/taskq paths.
+
+GO ?= go
+
+.PHONY: build test race vet bench check results
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass; the heavy full-scale determinism test auto-skips
+# under -race (its quick variant still runs).
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate the full evaluation output (seed 42, all cores).
+results:
+	$(GO) run ./cmd/experiments -run all -scale 1 -o results_full.txt

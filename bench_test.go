@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/jvm"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -142,6 +143,32 @@ func BenchmarkOptimizedJVM(b *testing.B) {
 // BenchmarkAblationNUMA regenerates the NUMA memory-locality ablation
 // (an extension beyond the paper; see EXPERIMENTS.md).
 func BenchmarkAblationNUMA(b *testing.B) { benchExperiment(b, "abl3") }
+
+// --- parallel experiment runner -----------------------------------------------
+
+// benchRunnerJobs regenerates Fig. 10 (60 simulation cells) at -scale 4
+// with the given worker-pool bound; comparing the Serial and Parallel
+// variants shows the runner's wall-clock speedup. On a machine with >= 4
+// cores the parallel variant is expected to finish >= 2x faster; output is
+// byte-identical either way (TestParallelRenderIdentical asserts this).
+func benchRunnerJobs(b *testing.B, jobs int) {
+	b.Helper()
+	e, err := experiments.ByID("fig10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		e.Run(experiments.Options{Seed: 42, Scale: 4, Jobs: jobs})
+	}
+	b.ReportMetric(float64(runner.New(jobs).Workers()), "jobs")
+}
+
+// BenchmarkExperimentRunnerSerial runs the Fig. 10 cells one at a time.
+func BenchmarkExperimentRunnerSerial(b *testing.B) { benchRunnerJobs(b, 1) }
+
+// BenchmarkExperimentRunnerParallel fans the Fig. 10 cells out across
+// GOMAXPROCS workers.
+func BenchmarkExperimentRunnerParallel(b *testing.B) { benchRunnerJobs(b, 0) }
 
 // BenchmarkFig5 regenerates the §3.2 lock-acquisition trace.
 func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }

@@ -5,7 +5,11 @@
 //
 //	experiments -list
 //	experiments -run fig10
-//	experiments -run all -scale 4 -o results.txt
+//	experiments -run all -scale 4 -jobs 8 -o results.txt
+//
+// Simulation cells fan out across a bounded worker pool (-jobs, default
+// GOMAXPROCS); output is byte-identical for any -jobs value because every
+// cell derives its own seed.
 package main
 
 import (
@@ -16,14 +20,23 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
 	var (
 		runID = flag.String("run", "all", "experiment id, or 'all'")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		seed  = flag.Int64("seed", 42, "simulation seed")
 		scale = flag.Int("scale", 1, "divide workload sizes by this (1 = full evaluation)")
+		jobs  = flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
 		out   = flag.String("o", "", "write output to file (default stdout)")
 		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
 	)
@@ -33,50 +46,94 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		w = f
-	}
-
-	opt := experiments.Options{Seed: *seed, Scale: *scale}
 	var todo []experiments.Experiment
 	if *runID == "all" {
 		todo = experiments.All()
 	} else {
 		e, err := experiments.ByID(*runID)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		todo = []experiments.Experiment{e}
 	}
 
 	if *csv != "" {
 		if err := os.MkdirAll(*csv, 0o755); err != nil {
-			fail(err)
+			return err
 		}
 	}
-	for _, e := range todo {
-		t0 := time.Now()
-		res := e.Run(opt)
-		res.Render(w)
-		if *csv != "" {
-			if err := res.WriteCSV(*csv); err != nil {
-				fail(err)
-			}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", e.ID, time.Since(t0).Seconds())
+		// Close on every exit path (including experiment errors) and
+		// surface write and Close errors so a full disk is not reported
+		// as success (table rendering itself ignores fmt errors).
+		ew := &errWriter{w: f}
+		err = runExperiments(ew, todo, *seed, *scale, *jobs, *csv)
+		if err == nil {
+			err = ew.err
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
 	}
+	return runExperiments(os.Stdout, todo, *seed, *scale, *jobs, *csv)
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+// errWriter remembers the first write error on the -o file.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	n, err := e.w.Write(p)
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	return n, err
+}
+
+func runExperiments(w io.Writer, todo []experiments.Experiment, seed int64, scale, jobs int, csvDir string) error {
+	pool := runner.New(jobs)
+	opt := experiments.Options{Seed: seed, Scale: scale, Jobs: jobs, Pool: pool}
+	start := time.Now()
+	for _, e := range todo {
+		t0 := time.Now()
+		cells0, busy0 := pool.Stats()
+		res := e.Run(opt)
+		wall := time.Since(t0)
+		cells1, busy1 := pool.Stats()
+		res.Render(w)
+		if csvDir != "" {
+			if err := res.WriteCSV(csvDir); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %.1fs (%d cells, %.1fx speedup, jobs=%d)\n",
+			e.ID, wall.Seconds(), cells1-cells0, speedup(busy1-busy0, wall), pool.Workers())
+	}
+	if len(todo) > 1 {
+		wall := time.Since(start)
+		cells, busy := pool.Stats()
+		fmt.Fprintf(os.Stderr, "total: %d cells in %.1fs wall (%.1fs cpu, %.1fx speedup)\n",
+			cells, wall.Seconds(), busy.Seconds(), speedup(busy, wall))
+	}
+	return nil
+}
+
+// speedup is aggregate in-cell time over wall time: ~1.0 when serial,
+// approaching the worker count when the fan-out keeps every worker busy.
+func speedup(busy, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(wall)
 }

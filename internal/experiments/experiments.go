@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/jvm"
+	"repro/internal/runner"
 	"repro/internal/simkit"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -29,6 +30,14 @@ type Options struct {
 	// Scale divides batch workloads' TotalItems and server request counts
 	// (1 = the full evaluation configuration; tests use 4-10).
 	Scale int
+	// Jobs bounds how many simulation cells run concurrently: 0 means
+	// GOMAXPROCS, 1 forces serial execution. Every cell derives its own
+	// seed, so the rendered output is identical for any Jobs value.
+	Jobs int
+	// Pool, when non-nil, executes the cells instead of a pool built from
+	// Jobs. The CLI shares one pool across experiments so per-experiment
+	// speedup can be reported from its aggregate stats.
+	Pool *runner.Pool
 }
 
 func (o Options) norm() Options {
@@ -37,6 +46,9 @@ func (o Options) norm() Options {
 	}
 	if o.Scale <= 0 {
 		o.Scale = 1
+	}
+	if o.Pool == nil {
+		o.Pool = runner.New(o.Jobs)
 	}
 	return o
 }
@@ -172,6 +184,26 @@ func run(opt Options, cfg jvm.Config, seedOff int64, busy int) *jvm.Result {
 		panic(fmt.Sprintf("experiment run failed: %v", err))
 	}
 	return r
+}
+
+// cell is one simulation of an experiment: a configuration, its seed
+// offset, and the number of interfering busy loops. Cells are independent
+// by construction — each seeds its own simulation from Options.Seed plus
+// the offset — so a figure's cells can run in any order.
+type cell struct {
+	cfg  jvm.Config
+	off  int64
+	busy int
+}
+
+// runCells executes cells on the options' worker pool and returns results
+// in submission order. Figures collect their cells first, fan them out
+// here, then assemble tables from the index-ordered results; the rendered
+// output is byte-identical to a serial run.
+func runCells(opt Options, cells []cell) []*jvm.Result {
+	return runner.Map(opt.Pool, len(cells), func(i int) *jvm.Result {
+		return run(opt, cells[i].cfg, cells[i].off, cells[i].busy)
+	})
 }
 
 func ms(t simkit.Time) float64 { return t.Millis() }

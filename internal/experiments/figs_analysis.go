@@ -22,12 +22,20 @@ var mutatorSweep = []int{1, 2, 4, 8, 16}
 func Fig3a(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "fig3a", Title: "DaCapo mutator/GC time vs mutator threads (vanilla JVM)"}
-	for bi, p := range []workload.Profile{workload.Lusearch(), workload.Xalan()} {
-		p = opt.scaled(p)
+	profiles := []workload.Profile{workload.Lusearch(), workload.Xalan()}
+	var cells []cell
+	for bi := range profiles {
+		profiles[bi] = opt.scaled(profiles[bi])
+		for mi, m := range mutatorSweep {
+			cells = append(cells, cell{jvm.Config{Profile: profiles[bi], Mutators: m}, int64(bi*100 + mi), 0})
+		}
+	}
+	rs := runCells(opt, cells)
+	for bi, p := range profiles {
 		tab := stats.NewTable(p.Name, "mutators", "total(ms)", "mutator(ms)", "gc(ms)", "gc-ratio", "norm-total")
 		var base float64
 		for mi, m := range mutatorSweep {
-			r := run(opt, jvm.Config{Profile: p, Mutators: m}, int64(bi*100+mi), 0)
+			r := rs[bi*len(mutatorSweep)+mi]
 			if base == 0 {
 				base = ms(r.TotalTime)
 			}
@@ -45,11 +53,20 @@ func Fig3a(opt Options) *Result {
 func Fig3b(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "fig3b", Title: "HiBench kmeans time breakdown vs mutator threads (vanilla JVM)"}
-	for si, size := range []workload.DataSize{workload.SizeSmall, workload.SizeLarge} {
-		p := opt.scaled(workload.Kmeans(size))
+	sizes := []workload.DataSize{workload.SizeSmall, workload.SizeLarge}
+	profiles := make([]workload.Profile, len(sizes))
+	var cells []cell
+	for si, size := range sizes {
+		profiles[si] = opt.scaled(workload.Kmeans(size))
+		for mi, m := range mutatorSweep {
+			cells = append(cells, cell{jvm.Config{Profile: profiles[si], Mutators: m}, int64(1000 + si*100 + mi), 0})
+		}
+	}
+	rs := runCells(opt, cells)
+	for si, p := range profiles {
 		tab := stats.NewTable(p.Name, "mutators", "total(ms)", "mutator(ms)", "gc(ms)", "gc-ratio")
 		for mi, m := range mutatorSweep {
-			r := run(opt, jvm.Config{Profile: p, Mutators: m}, int64(1000+si*100+mi), 0)
+			r := rs[si*len(mutatorSweep)+mi]
 			tab.AddRow(m, ms(r.TotalTime), ms(r.MutatorTime), ms(r.GCTime), r.GCRatio())
 		}
 		res.Tables = append(res.Tables, tab)
@@ -64,11 +81,19 @@ func Fig3b(opt Options) *Result {
 func Fig3c(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "fig3c", Title: "GC scalability: 16 mutators, varying GC threads (vanilla JVM)"}
-	for bi, p := range []workload.Profile{workload.Lusearch(), workload.Xalan()} {
-		p = opt.scaled(p)
+	profiles := []workload.Profile{workload.Lusearch(), workload.Xalan()}
+	var cells []cell
+	for bi := range profiles {
+		profiles[bi] = opt.scaled(profiles[bi])
+		for gi, g := range mutatorSweep {
+			cells = append(cells, cell{jvm.Config{Profile: profiles[bi], Mutators: 16, GCThreads: g}, int64(2000 + bi*100 + gi), 0})
+		}
+	}
+	rs := runCells(opt, cells)
+	for bi, p := range profiles {
 		tab := stats.NewTable(p.Name, "gc-threads", "total(ms)", "mutator(ms)", "gc(ms)")
 		for gi, g := range mutatorSweep {
-			r := run(opt, jvm.Config{Profile: p, Mutators: 16, GCThreads: g}, int64(2000+bi*100+gi), 0)
+			r := rs[bi*len(mutatorSweep)+gi]
 			tab.AddRow(g, ms(r.TotalTime), ms(r.MutatorTime), ms(r.GCTime))
 		}
 		res.Tables = append(res.Tables, tab)
@@ -83,12 +108,17 @@ func Fig3d(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "fig3d", Title: "Cassandra read latency vs client threads (vanilla JVM)"}
 	tab := stats.NewTable("cassandra read", "clients", "mean(ms)", "p95(ms)", "p99(ms)", "p99.9(ms)", "gc-ratio")
-	for ci, clients := range []int{1, 4, 16, 64, 256} {
-		cfg := jvm.Config{
+	clientSweep := []int{1, 4, 16, 64, 256}
+	var cells []cell
+	for ci, clients := range clientSweep {
+		cells = append(cells, cell{jvm.Config{
 			Profile: workload.Cassandra(), Mutators: 16,
 			Clients: clients, Requests: opt.requests(20000),
-		}
-		r := run(opt, cfg, int64(3000+ci), 0)
+		}, int64(3000 + ci), 0})
+	}
+	rs := runCells(opt, cells)
+	for ci, clients := range clientSweep {
+		r := rs[ci]
 		tab.AddRow(clients, r.Latency.Mean(), r.Latency.Percentile(95),
 			r.Latency.Percentile(99), r.Latency.Percentile(99.9), r.GCRatio())
 	}
@@ -192,9 +222,15 @@ func Fig6(opt Options) *Result {
 	res := &Result{ID: "fig6", Title: "Decomposition of minor GC time (vanilla JVM)"}
 	tab := stats.NewTable("minor GC phase shares",
 		"benchmark", "init", "steal(steal)", "steal(term)", "other-tasks", "final-sync")
-	for bi, p := range workload.Table1Benchmarks() {
-		p := opt.scaled(p)
-		r := run(opt, jvm.Config{Profile: p, Mutators: 16}, int64(6000+bi), 0)
+	benches := workload.Table1Benchmarks()
+	var cells []cell
+	for bi := range benches {
+		benches[bi] = opt.scaled(benches[bi])
+		cells = append(cells, cell{jvm.Config{Profile: benches[bi], Mutators: 16}, int64(6000 + bi), 0})
+	}
+	rs := runCells(opt, cells)
+	for bi, p := range benches {
+		r := rs[bi]
 		t := pscavenge.Aggregate(r.Reports, pscavenge.Minor)
 		total := float64(t.InitTime + t.StealWorkTime + t.TerminationTime + t.RootTaskTime + t.FinalSyncTime)
 		if total == 0 {
@@ -217,9 +253,15 @@ func Table1(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "tab1", Title: "Steal attempts in steal_best_of_2 (vanilla JVM)"}
 	tab := stats.NewTable("steal attempts", "benchmark", "total", "failure", "failure-rate")
-	for bi, p := range workload.Table1Benchmarks() {
-		p := opt.scaled(p)
-		r := run(opt, jvm.Config{Profile: p, Mutators: 16}, int64(7000+bi), 0)
+	benches := workload.Table1Benchmarks()
+	var cells []cell
+	for bi := range benches {
+		benches[bi] = opt.scaled(benches[bi])
+		cells = append(cells, cell{jvm.Config{Profile: benches[bi], Mutators: 16}, int64(7000 + bi), 0})
+	}
+	rs := runCells(opt, cells)
+	for bi, p := range benches {
+		r := rs[bi]
 		tab.AddRow(p.Name, r.Steal.TotalAttempts(), r.Steal.TotalFailures(), r.Steal.FailureRate())
 	}
 	res.Tables = append(res.Tables, tab)

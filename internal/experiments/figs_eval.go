@@ -8,6 +8,7 @@ import (
 	"repro/internal/jmutex"
 	"repro/internal/jvm"
 	"repro/internal/ostopo"
+	"repro/internal/runner"
 	"repro/internal/simkit"
 	"repro/internal/stats"
 	"repro/internal/taskq"
@@ -36,11 +37,18 @@ func Fig9(opt Options) *Result {
 		"benchmark", "default", "optimized", "ratio")
 	failures := stats.NewTable("steal failure rate (lower is better)",
 		"benchmark", "default", "optimized", "failed-attempts-reduction")
-	for bi, p := range workload.Table1Benchmarks() {
-		p := opt.scaled(p)
-		base := jvm.Config{Profile: p, Mutators: 16}
-		d := run(opt, base, int64(9000+bi), 0)
-		o := run(opt, base.WithStealOnly(), int64(9100+bi), 0)
+	benches := workload.Table1Benchmarks()
+	var cells []cell
+	for bi := range benches {
+		benches[bi] = opt.scaled(benches[bi])
+		base := jvm.Config{Profile: benches[bi], Mutators: 16}
+		cells = append(cells,
+			cell{base, int64(9000 + bi), 0},
+			cell{base.WithStealOnly(), int64(9100 + bi), 0})
+	}
+	rs := runCells(opt, cells)
+	for bi, p := range benches {
+		d, o := rs[2*bi], rs[2*bi+1]
 		attempts.AddRow(p.Name, d.Steal.TotalAttempts(), o.Steal.TotalAttempts(),
 			stats.Ratio(float64(o.Steal.TotalAttempts()), float64(d.Steal.TotalAttempts())))
 		failures.AddRow(p.Name, d.Steal.FailureRate(), o.Steal.FailureRate(),
@@ -58,15 +66,37 @@ func Fig10(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "fig10", Title: "Overall and GC performance improvement"}
 
+	dacapoB, specB, gctB := workload.DaCapo(), workload.SPECjvm(), workload.Table1Benchmarks()
+	var cells []cell
+	for bi := range dacapoB {
+		dacapoB[bi] = opt.scaled(dacapoB[bi])
+		for ci, c := range fourConfigs(jvm.Config{Profile: dacapoB[bi], Mutators: 16}) {
+			cells = append(cells, cell{c.Cfg, int64(10000 + bi*10 + ci), 0})
+		}
+	}
+	specStart := len(cells)
+	for bi := range specB {
+		specB[bi] = opt.scaled(specB[bi])
+		for ci, c := range fourConfigs(jvm.Config{Profile: specB[bi], Mutators: 16}) {
+			cells = append(cells, cell{c.Cfg, int64(10500 + bi*10 + ci), 0})
+		}
+	}
+	gctStart := len(cells)
+	for bi := range gctB {
+		gctB[bi] = opt.scaled(gctB[bi])
+		base := jvm.Config{Profile: gctB[bi], Mutators: 16}
+		cells = append(cells,
+			cell{base, int64(11000 + bi), 0},
+			cell{base.WithOptimizations(), int64(11100 + bi), 0})
+	}
+	rs := runCells(opt, cells)
+
 	dacapo := stats.NewTable("(a) DaCapo execution time relative to vanilla (lower is better)",
 		"benchmark", "vanilla", "w/ GC-affinity", "w/ steal", "together")
-	for bi, p := range workload.DaCapo() {
-		p := opt.scaled(p)
-		base := jvm.Config{Profile: p, Mutators: 16}
+	for bi, p := range dacapoB {
 		var vals []float64
-		for ci, c := range fourConfigs(base) {
-			r := run(opt, c.Cfg, int64(10000+bi*10+ci), 0)
-			vals = append(vals, ms(r.TotalTime))
+		for ci := 0; ci < 4; ci++ {
+			vals = append(vals, ms(rs[bi*4+ci].TotalTime))
 		}
 		dacapo.AddRow(p.Name, 1.0, stats.Ratio(vals[1], vals[0]),
 			stats.Ratio(vals[2], vals[0]), stats.Ratio(vals[3], vals[0]))
@@ -74,13 +104,10 @@ func Fig10(opt Options) *Result {
 
 	spec := stats.NewTable("(b) SPECjvm2008 throughput relative to vanilla (higher is better)",
 		"benchmark", "vanilla", "w/ GC-affinity", "w/ steal", "together")
-	for bi, p := range workload.SPECjvm() {
-		p := opt.scaled(p)
-		base := jvm.Config{Profile: p, Mutators: 16}
+	for bi, p := range specB {
 		var vals []float64
-		for ci, c := range fourConfigs(base) {
-			r := run(opt, c.Cfg, int64(10500+bi*10+ci), 0)
-			vals = append(vals, r.ThroughputOPS)
+		for ci := 0; ci < 4; ci++ {
+			vals = append(vals, rs[specStart+bi*4+ci].ThroughputOPS)
 		}
 		spec.AddRow(p.Name, 1.0, stats.Ratio(vals[1], vals[0]),
 			stats.Ratio(vals[2], vals[0]), stats.Ratio(vals[3], vals[0]))
@@ -88,11 +115,8 @@ func Fig10(opt Options) *Result {
 
 	gct := stats.NewTable("(c) GC time relative to vanilla (lower is better)",
 		"benchmark", "vanilla(ms)", "optimized(ms)", "ratio", "improvement")
-	for bi, p := range workload.Table1Benchmarks() {
-		p := opt.scaled(p)
-		base := jvm.Config{Profile: p, Mutators: 16}
-		v := run(opt, base, int64(11000+bi), 0)
-		o := run(opt, base.WithOptimizations(), int64(11100+bi), 0)
+	for bi, p := range gctB {
+		v, o := rs[gctStart+2*bi], rs[gctStart+2*bi+1]
 		gct.AddRow(p.Name, ms(v.GCTime), ms(o.GCTime),
 			stats.Ratio(ms(o.GCTime), ms(v.GCTime)),
 			stats.Improvement(ms(v.GCTime), ms(o.GCTime)))
@@ -111,16 +135,35 @@ func Fig11(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "fig11", Title: "Comparison with NUMA node affinity and NUMA-aware stealing"}
 
-	aff := stats.NewTable("(a) affinity schemes: total time relative to vanilla (lower is better)",
-		"benchmark", "vanilla", "node-affinity", "optimized-affinity")
-	for bi, p := range workload.Table1Benchmarks() {
-		p := opt.scaled(p)
-		base := jvm.Config{Profile: p, Mutators: 16}
+	benches := workload.Table1Benchmarks()
+	var cells []cell
+	for bi := range benches {
+		benches[bi] = opt.scaled(benches[bi])
+		base := jvm.Config{Profile: benches[bi], Mutators: 16}
 		node := base
 		node.Affinity = affinity.ModeNUMANode
-		v := run(opt, base, int64(12000+bi), 0)
-		n := run(opt, node, int64(12100+bi), 0)
-		o := run(opt, base.WithAffinityOnly(), int64(12200+bi), 0)
+		cells = append(cells,
+			cell{base, int64(12000 + bi), 0},
+			cell{node, int64(12100 + bi), 0},
+			cell{base.WithAffinityOnly(), int64(12200 + bi), 0})
+	}
+	stlStart := len(cells)
+	for bi := range benches {
+		base := jvm.Config{Profile: benches[bi], Mutators: 16}
+		numa := base
+		numa.Steal = taskq.KindNUMARestricted
+		numa.Affinity = affinity.ModeNUMANode // stealing within the node requires node binding
+		cells = append(cells,
+			cell{base, int64(12300 + bi), 0},
+			cell{numa, int64(12400 + bi), 0},
+			cell{base.WithStealOnly(), int64(12500 + bi), 0})
+	}
+	rs := runCells(opt, cells)
+
+	aff := stats.NewTable("(a) affinity schemes: total time relative to vanilla (lower is better)",
+		"benchmark", "vanilla", "node-affinity", "optimized-affinity")
+	for bi, p := range benches {
+		v, n, o := rs[3*bi], rs[3*bi+1], rs[3*bi+2]
 		aff.AddRow(p.Name, 1.0,
 			stats.Ratio(ms(n.TotalTime), ms(v.TotalTime)),
 			stats.Ratio(ms(o.TotalTime), ms(v.TotalTime)))
@@ -128,15 +171,8 @@ func Fig11(opt Options) *Result {
 
 	stl := stats.NewTable("(b) stealing schemes: total time relative to vanilla (lower is better)",
 		"benchmark", "vanilla", "numa-aware-stealing", "optimized-stealing")
-	for bi, p := range workload.Table1Benchmarks() {
-		p := opt.scaled(p)
-		base := jvm.Config{Profile: p, Mutators: 16}
-		numa := base
-		numa.Steal = taskq.KindNUMARestricted
-		numa.Affinity = affinity.ModeNUMANode // stealing within the node requires node binding
-		v := run(opt, base, int64(12300+bi), 0)
-		n := run(opt, numa, int64(12400+bi), 0)
-		o := run(opt, base.WithStealOnly(), int64(12500+bi), 0)
+	for bi, p := range benches {
+		v, n, o := rs[stlStart+3*bi], rs[stlStart+3*bi+1], rs[stlStart+3*bi+2]
 		stl.AddRow(p.Name, 1.0,
 			stats.Ratio(ms(n.TotalTime), ms(v.TotalTime)),
 			stats.Ratio(ms(o.TotalTime), ms(v.TotalTime)))
@@ -153,14 +189,24 @@ func Fig11(opt Options) *Result {
 func Fig12(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "fig12", Title: "DaCapo overall and GC scalability (vanilla vs optimized)"}
-	for bi, p := range workload.DaCapo() {
-		p := opt.scaled(p)
+	benches := workload.DaCapo()
+	var cells []cell
+	for bi := range benches {
+		benches[bi] = opt.scaled(benches[bi])
+		for mi, m := range mutatorSweep {
+			base := jvm.Config{Profile: benches[bi], Mutators: m}
+			cells = append(cells,
+				cell{base, int64(13000 + bi*100 + mi), 0},
+				cell{base.WithOptimizations(), int64(13050 + bi*100 + mi), 0})
+		}
+	}
+	rs := runCells(opt, cells)
+	for bi, p := range benches {
 		tab := stats.NewTable(p.Name,
 			"mutators", "vanilla-total(ms)", "opt-total(ms)", "vanilla-gc(ms)", "opt-gc(ms)")
 		for mi, m := range mutatorSweep {
-			base := jvm.Config{Profile: p, Mutators: m}
-			v := run(opt, base, int64(13000+bi*100+mi), 0)
-			o := run(opt, base.WithOptimizations(), int64(13050+bi*100+mi), 0)
+			k := 2 * (bi*len(mutatorSweep) + mi)
+			v, o := rs[k], rs[k+1]
 			tab.AddRow(m, ms(v.TotalTime), ms(o.TotalTime), ms(v.GCTime), ms(o.GCTime))
 		}
 		res.Tables = append(res.Tables, tab)
@@ -185,11 +231,32 @@ func Fig13(opt Options) *Result {
 		workload.Kmeans(workload.SizeSmall), workload.Kmeans(workload.SizeLarge), workload.Kmeans(workload.SizeHuge),
 		workload.Pagerank(workload.SizeSmall), workload.Pagerank(workload.SizeLarge), workload.Pagerank(workload.SizeHuge),
 	}
+	var cells []cell
+	for bi := range jobs {
+		jobs[bi] = opt.scaled(jobs[bi])
+		base := jvm.Config{Profile: jobs[bi], Mutators: 16}
+		cells = append(cells,
+			cell{base, int64(14000 + bi), 0},
+			cell{base.WithOptimizations(), int64(14100 + bi), 0})
+	}
+	cassStart := len(cells)
+	kinds := []string{"write", "read"}
+	for i, kind := range kinds {
+		p := workload.Cassandra()
+		if kind == "write" {
+			// Writes carry commit-log work: heavier service and allocation.
+			p.ServiceCompute = p.ServiceCompute * 13 / 10
+			p.ServiceClusters++
+		}
+		base := jvm.Config{Profile: p, Mutators: 16, Clients: 256, Requests: opt.requests(20000)}
+		cells = append(cells,
+			cell{base, int64(14500 + i*10), 0},
+			cell{base.WithOptimizations(), int64(14500 + i*10 + 1), 0})
+	}
+	rs := runCells(opt, cells)
+
 	for bi, p := range jobs {
-		p := opt.scaled(p)
-		base := jvm.Config{Profile: p, Mutators: 16}
-		v := run(opt, base, int64(14000+bi), 0)
-		o := run(opt, base.WithOptimizations(), int64(14100+bi), 0)
+		v, o := rs[2*bi], rs[2*bi+1]
 		status := "ok"
 		if v.Err != nil || o.Err != nil {
 			status = "OOM (as in the paper)"
@@ -205,24 +272,12 @@ func Fig13(opt Options) *Result {
 	}
 
 	res.Tables = append(res.Tables, spark)
-	for i, kind := range []string{"write", "read"} {
-		p := workload.Cassandra()
-		if kind == "write" {
-			// Writes carry commit-log work: heavier service and allocation.
-			p.ServiceCompute = p.ServiceCompute * 13 / 10
-			p.ServiceClusters++
-		}
+	for i, kind := range kinds {
 		tab := stats.NewTable("(b/c) Cassandra "+kind+" latency (ms)",
 			"config", "median", "mean", "p95", "p99")
-		for vi, variant := range []struct {
-			name string
-			cfg  jvm.Config
-		}{
-			{"vanilla", jvm.Config{Profile: p, Mutators: 16, Clients: 256, Requests: opt.requests(20000)}},
-			{"optimized", jvm.Config{Profile: p, Mutators: 16, Clients: 256, Requests: opt.requests(20000)}.WithOptimizations()},
-		} {
-			r := run(opt, variant.cfg, int64(14500+i*10+vi), 0)
-			tab.AddRow(variant.name, r.Latency.Median(), r.Latency.Mean(),
+		for vi, name := range []string{"vanilla", "optimized"} {
+			r := rs[cassStart+2*i+vi]
+			tab.AddRow(name, r.Latency.Median(), r.Latency.Mean(),
 				r.Latency.Percentile(95), r.Latency.Percentile(99))
 		}
 		res.Tables = append(res.Tables, tab)
@@ -239,21 +294,35 @@ func Fig14(opt Options) *Result {
 	opt = opt.norm()
 	res := &Result{ID: "fig14", Title: "Heap-size sweeps (vanilla vs optimized)"}
 
-	lusearch := stats.NewTable("lusearch", "heap(MB)", "vanilla-total(ms)", "opt-total(ms)", "vanilla-gc(ms)", "opt-gc(ms)")
+	heapsMB := []int{30, 90, 180, 360, 600, 900}
+	heapsGB := []int{8, 16, 32}
 	p := opt.scaled(workload.Lusearch())
-	for hi, mb := range []int{30, 90, 180, 360, 600, 900} {
+	kp := opt.scaled(workload.Kmeans(workload.SizeLarge))
+	var cells []cell
+	for hi, mb := range heapsMB {
 		base := jvm.Config{Profile: p, Mutators: 16, HeapMB: mb}
-		v := run(opt, base, int64(15000+hi), 0)
-		o := run(opt, base.WithOptimizations(), int64(15050+hi), 0)
+		cells = append(cells,
+			cell{base, int64(15000 + hi), 0},
+			cell{base.WithOptimizations(), int64(15050 + hi), 0})
+	}
+	for hi, gb := range heapsGB {
+		base := jvm.Config{Profile: kp, Mutators: 16, HeapMB: gb * 1024}
+		cells = append(cells,
+			cell{base, int64(15100 + hi), 0},
+			cell{base.WithOptimizations(), int64(15150 + hi), 0})
+	}
+	rs := runCells(opt, cells)
+
+	lusearch := stats.NewTable("lusearch", "heap(MB)", "vanilla-total(ms)", "opt-total(ms)", "vanilla-gc(ms)", "opt-gc(ms)")
+	for hi, mb := range heapsMB {
+		v, o := rs[2*hi], rs[2*hi+1]
 		lusearch.AddRow(mb, ms(v.TotalTime), ms(o.TotalTime), ms(v.GCTime), ms(o.GCTime))
 	}
 
 	kmeans := stats.NewTable("kmeans", "heap(GB)", "vanilla-total(ms)", "opt-total(ms)", "vanilla-gc(ms)", "opt-gc(ms)")
-	kp := opt.scaled(workload.Kmeans(workload.SizeLarge))
-	for hi, gb := range []int{8, 16, 32} {
-		base := jvm.Config{Profile: kp, Mutators: 16, HeapMB: gb * 1024}
-		v := run(opt, base, int64(15100+hi), 0)
-		o := run(opt, base.WithOptimizations(), int64(15150+hi), 0)
+	for hi, gb := range heapsGB {
+		k := 2 * (len(heapsMB) + hi)
+		v, o := rs[k], rs[k+1]
 		kmeans.AddRow(gb, ms(v.TotalTime), ms(o.TotalTime), ms(v.GCTime), ms(o.GCTime))
 	}
 	res.Tables = append(res.Tables, lusearch, kmeans)
@@ -273,15 +342,18 @@ func Fig15(opt Options) *Result {
 	lus := opt.scaled(workload.Lusearch())
 	sun := opt.scaled(workload.Sunflow())
 
-	// lusearch with 10 busy loops.
-	vb := run(opt, jvm.Config{Profile: lus, Mutators: 16}, 16000, 10)
-	ob := run(opt, jvm.Config{Profile: lus, Mutators: 16}.WithOptimizations(), 16001, 10)
-	total.AddRow("lusearch w/ loop", ms(vb.TotalTime), ms(ob.TotalTime), stats.Ratio(ms(ob.TotalTime), ms(vb.TotalTime)))
-	gc.AddRow("lusearch w/ loop", ms(vb.GCTime), ms(ob.GCTime), stats.Ratio(ms(ob.GCTime), ms(vb.GCTime)))
-
-	// Two co-running instances of the same benchmark.
-	co := func(name string, p workload.Profile, seedOff int64) {
-		mk := func(optimized bool) (total, gc simkit.Time) {
+	// Each scenario half (vanilla or optimized) is an independent
+	// simulation, so the six halves fan out as one batch: two single-JVM
+	// runs with busy loops and four co-running RunMulti pairs.
+	type tg struct{ total, gc simkit.Time }
+	busyLoop := func(cfg jvm.Config, off int64) func() tg {
+		return func() tg {
+			r := run(opt, cfg, off, 10)
+			return tg{r.TotalTime, r.GCTime}
+		}
+	}
+	coRun := func(p workload.Profile, seedOff int64, optimized bool) func() tg {
+		return func() tg {
 			cfgA := jvm.Config{Profile: p, Mutators: 16}
 			cfgB := jvm.Config{Profile: p, Mutators: 16, SpawnCore: 10}
 			if optimized {
@@ -292,22 +364,30 @@ func Fig15(opt Options) *Result {
 			if err != nil {
 				panic(err)
 			}
-			var gcSum simkit.Time
+			var slowest, gcSum simkit.Time
 			for _, r := range rs {
-				if r.TotalTime > total {
-					total = r.TotalTime
+				if r.TotalTime > slowest {
+					slowest = r.TotalTime
 				}
 				gcSum += r.GCTime
 			}
-			return total, gcSum / simkit.Time(len(rs))
+			return tg{slowest, gcSum / simkit.Time(len(rs))}
 		}
-		vt, vg := mk(false)
-		ot, og := mk(true)
-		total.AddRow(name, ms(vt), ms(ot), stats.Ratio(ms(ot), ms(vt)))
-		gc.AddRow(name, ms(vg), ms(og), stats.Ratio(ms(og), ms(vg)))
 	}
-	co("2*lusearch", lus, 16100)
-	co("2*sunflow", sun, 16200)
+	tasks := []func() tg{
+		busyLoop(jvm.Config{Profile: lus, Mutators: 16}, 16000),
+		busyLoop(jvm.Config{Profile: lus, Mutators: 16}.WithOptimizations(), 16001),
+		coRun(lus, 16100, false), coRun(lus, 16100, true),
+		coRun(sun, 16200, false), coRun(sun, 16200, true),
+	}
+	rs := runner.Map(opt.Pool, len(tasks), func(i int) tg { return tasks[i]() })
+	addRows := func(name string, v, o tg) {
+		total.AddRow(name, ms(v.total), ms(o.total), stats.Ratio(ms(o.total), ms(v.total)))
+		gc.AddRow(name, ms(v.gc), ms(o.gc), stats.Ratio(ms(o.gc), ms(v.gc)))
+	}
+	addRows("lusearch w/ loop", rs[0], rs[1])
+	addRows("2*lusearch", rs[2], rs[3])
+	addRows("2*sunflow", rs[4], rs[5])
 
 	res.Tables = append(res.Tables, total, gc)
 	res.Notes = append(res.Notes,
@@ -322,30 +402,40 @@ func Fig16(opt Options) *Result {
 	res := &Result{ID: "fig16", Title: "Vanilla and optimized JVM with and without SMT"}
 	tab := stats.NewTable("total time relative to vanilla SMT-off (lower is better)",
 		"benchmark", "vanilla", "optimized", "vanilla w/ SMT", "optimized w/ SMT")
-	for bi, p := range workload.DaCapo() {
-		p := opt.scaled(p)
-		var vals []float64
+	benches := workload.DaCapo()
+	var specs []jvm.RunSpec
+	for bi := range benches {
+		benches[bi] = opt.scaled(benches[bi])
 		for ci, c := range []struct {
 			smt bool
 			cfg jvm.Config
 		}{
-			{false, jvm.Config{Profile: p, Mutators: 16, GCThreads: 15}},
-			{false, jvm.Config{Profile: p, Mutators: 16, GCThreads: 15}.WithOptimizations()},
-			{true, jvm.Config{Profile: p, Mutators: 16, GCThreads: 15}},
-			{true, jvm.Config{Profile: p, Mutators: 16, GCThreads: 15}.WithOptimizations()},
+			{false, jvm.Config{Profile: benches[bi], Mutators: 16, GCThreads: 15}},
+			{false, jvm.Config{Profile: benches[bi], Mutators: 16, GCThreads: 15}.WithOptimizations()},
+			{true, jvm.Config{Profile: benches[bi], Mutators: 16, GCThreads: 15}},
+			{true, jvm.Config{Profile: benches[bi], Mutators: 16, GCThreads: 15}.WithOptimizations()},
 		} {
 			topo := ostopo.PaperTestbed()
 			if c.smt {
 				topo = ostopo.PaperTestbedSMT()
 			}
-			r, err := jvm.Run(jvm.RunSpec{
+			specs = append(specs, jvm.RunSpec{
 				Config: withSeed(c.cfg, opt.Seed+int64(17000+bi*10+ci)),
 				Topo:   topo, Seed: opt.Seed + int64(17000+bi*10+ci),
 			})
-			if err != nil {
-				panic(err)
-			}
-			vals = append(vals, ms(r.TotalTime))
+		}
+	}
+	rs := runner.Map(opt.Pool, len(specs), func(i int) *jvm.Result {
+		r, err := jvm.Run(specs[i])
+		if err != nil {
+			panic(err)
+		}
+		return r
+	})
+	for bi, p := range benches {
+		var vals []float64
+		for ci := 0; ci < 4; ci++ {
+			vals = append(vals, ms(rs[bi*4+ci].TotalTime))
 		}
 		tab.AddRow(p.Name, 1.0, stats.Ratio(vals[1], vals[0]),
 			stats.Ratio(vals[2], vals[0]), stats.Ratio(vals[3], vals[0]))
@@ -380,8 +470,13 @@ func AblationMutex(opt Options) *Result {
 		{"wake all contenders", withMutex(base, jmutex.PolicyWakeAll)},
 		{"dynamic GC thread affinity", base.WithAffinityOnly()},
 	}
+	var cells []cell
 	for ci, c := range cases {
-		r := run(opt, c.cfg, int64(18000+ci), 0)
+		cells = append(cells, cell{c.cfg, int64(18000 + ci), 0})
+	}
+	rs := runCells(opt, cells)
+	for ci, c := range cases {
+		r := rs[ci]
 		tab.AddRow(c.name, ms(r.TotalTime), ms(r.GCTime), r.GCRatio(), r.Monitor.OwnerReacquires)
 	}
 	res.Tables = append(res.Tables, tab)
@@ -402,15 +497,24 @@ func AblationSteal(opt Options) *Result {
 	res := &Result{ID: "abl2", Title: "Stealing policy ablation incl. SmartStealing (§6.1)"}
 	tab := stats.NewTable("DaCapo, 16 mutators, affinity enabled",
 		"benchmark", "policy", "gc(ms)", "attempts", "failure-rate")
-	for bi, p := range workload.DaCapo() {
-		p := opt.scaled(p)
-		for pi, kind := range []taskq.PolicyKind{taskq.KindBestOf2, taskq.KindSmartStealing, taskq.KindSemiRandom} {
-			cfg := jvm.Config{Profile: p, Mutators: 16}.WithAffinityOnly()
+	kinds := []taskq.PolicyKind{taskq.KindBestOf2, taskq.KindSmartStealing, taskq.KindSemiRandom}
+	benches := workload.DaCapo()
+	var cells []cell
+	for bi := range benches {
+		benches[bi] = opt.scaled(benches[bi])
+		for pi, kind := range kinds {
+			cfg := jvm.Config{Profile: benches[bi], Mutators: 16}.WithAffinityOnly()
 			cfg.Steal = kind
 			if kind == taskq.KindSemiRandom {
 				cfg.FastTerminator = true
 			}
-			r := run(opt, cfg, int64(19000+bi*10+pi), 0)
+			cells = append(cells, cell{cfg, int64(19000 + bi*10 + pi), 0})
+		}
+	}
+	rs := runCells(opt, cells)
+	for bi, p := range benches {
+		for pi, kind := range kinds {
+			r := rs[bi*len(kinds)+pi]
 			tab.AddRow(p.Name, kind.String(), ms(r.GCTime), r.Steal.TotalAttempts(), r.Steal.FailureRate())
 		}
 	}
@@ -430,22 +534,23 @@ func AblationNUMA(opt Options) *Result {
 	res := &Result{ID: "abl3", Title: "NUMA memory-locality ablation (extension)"}
 	tab := stats.NewTable("lusearch & sunflow, 16 mutators, remote factor 1.6",
 		"benchmark", "configuration", "total(ms)", "gc(ms)", "remote-access-ratio")
-	for bi, p := range []workload.Profile{workload.Lusearch(), workload.Sunflow()} {
-		p := opt.scaled(p)
-		base := jvm.Config{Profile: p, Mutators: 16, NUMARemoteFactor: 1.6}
+	caseNames := []string{"vanilla", "node-affinity + NUMA-steal (Gidra)", "dynamic affinity + semi-random (paper)"}
+	benches := []workload.Profile{workload.Lusearch(), workload.Sunflow()}
+	var cells []cell
+	for bi := range benches {
+		benches[bi] = opt.scaled(benches[bi])
+		base := jvm.Config{Profile: benches[bi], Mutators: 16, NUMARemoteFactor: 1.6}
 		node := base
 		node.Affinity = affinity.ModeNUMANode
 		node.Steal = taskq.KindNUMARestricted
-		cases := []struct {
-			name string
-			cfg  jvm.Config
-		}{
-			{"vanilla", base},
-			{"node-affinity + NUMA-steal (Gidra)", node},
-			{"dynamic affinity + semi-random (paper)", base.WithOptimizations()},
+		for ci, cfg := range []jvm.Config{base, node, base.WithOptimizations()} {
+			cells = append(cells, cell{cfg, int64(20000 + bi*10 + ci), 0})
 		}
-		for ci, c := range cases {
-			r := run(opt, c.cfg, int64(20000+bi*10+ci), 0)
+	}
+	rs := runCells(opt, cells)
+	for bi, p := range benches {
+		for ci, name := range caseNames {
+			r := rs[bi*len(caseNames)+ci]
 			var local, remote int64
 			for _, rep := range r.Reports {
 				local += rep.LocalAccesses
@@ -455,7 +560,7 @@ func AblationNUMA(opt Options) *Result {
 			if local+remote > 0 {
 				ratio = float64(remote) / float64(local+remote)
 			}
-			tab.AddRow(p.Name, c.name, ms(r.TotalTime), ms(r.GCTime), ratio)
+			tab.AddRow(p.Name, name, ms(r.TotalTime), ms(r.GCTime), ratio)
 		}
 	}
 	res.Tables = append(res.Tables, tab)

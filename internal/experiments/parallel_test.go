@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderAll renders the given experiments under opt into one string.
+func renderAll(t *testing.T, opt Options, ids []string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(opt).Render(&b)
+	}
+	return b.String()
+}
+
+// quickParallelIDs covers every fan-out shape in the suite: interleaved
+// cell batches (fig9), multi-table batches (fig10), nested sweeps (fig12),
+// mixed single/RunMulti closures (fig15), custom-topology RunSpecs
+// (fig16), and a policy ablation (abl2).
+var quickParallelIDs = []string{"fig9", "fig10", "fig12", "fig15", "fig16", "abl2"}
+
+// TestParallelRenderIdentical asserts the tentpole invariant: the worker
+// pool may execute cells in any order on any number of goroutines, yet the
+// rendered tables are byte-identical to a serial run, because every cell
+// derives its own seed.
+func TestParallelRenderIdentical(t *testing.T) {
+	opt := Options{Seed: 7, Scale: 20}
+	opt.Jobs = 1
+	serial := renderAll(t, opt, quickParallelIDs)
+	opt.Jobs = 4
+	parallel := renderAll(t, opt, quickParallelIDs)
+	if serial != parallel {
+		t.Fatalf("parallel render differs from serial:\n%s", firstDiff(serial, parallel))
+	}
+	opt.Jobs = 16
+	if wide := renderAll(t, opt, quickParallelIDs); wide != serial {
+		t.Fatalf("jobs=16 render differs from serial:\n%s", firstDiff(serial, wide))
+	}
+}
+
+// TestParallelRenderIdenticalFullScale4 is the acceptance check:
+// `experiments -run all -scale 4` with -jobs 4 matches -jobs 1 byte for
+// byte. It reruns the whole evaluation twice, so it is skipped under
+// -short and under the race detector (TestParallelRenderIdentical covers
+// the same property quickly).
+func TestParallelRenderIdenticalFullScale4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite determinism check skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full-suite determinism check skipped under -race (quick variant still runs)")
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	opt := Options{Seed: 42, Scale: 4}
+	opt.Jobs = 1
+	serial := renderAll(t, opt, ids)
+	opt.Jobs = 4
+	parallel := renderAll(t, opt, ids)
+	if serial != parallel {
+		t.Fatalf("scale-4 parallel render differs from serial:\n%s", firstDiff(serial, parallel))
+	}
+}
+
+// firstDiff returns the first differing line pair for a readable failure.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  serial:   %s\n  parallel: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

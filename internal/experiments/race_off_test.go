@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the heavy
+// full-suite determinism test skips under -race (the detector multiplies
+// simulation time ~10x; the quick variant still runs and covers the same
+// code paths).
+const raceEnabled = false

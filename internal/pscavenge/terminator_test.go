@@ -1,0 +1,50 @@
+package pscavenge
+
+import "testing"
+
+// TestTerminatorFastThreshold covers the FastParallelTaskTerminator's
+// adaptive threshold (§4.2, Algorithm 2): 2·N_live, where N_live is the
+// number of threads that have not yet offered termination. As offers
+// accumulate, the remaining thieves give up after fewer failed attempts.
+func TestTerminatorFastThreshold(t *testing.T) {
+	tm := &terminator{total: 8, fast: true}
+	for _, tc := range []struct {
+		offered, want int
+	}{
+		{0, 16}, // nobody offered: same as the default 2·N
+		{3, 10}, // 5 live threads
+		{6, 4},
+		{7, 2},  // one live thread left
+		{8, 2},  // live clamps to 1: threshold never reaches zero
+		{12, 2}, // even past total (defensive), still 2
+	} {
+		tm.offered = tc.offered
+		if got := tm.threshold(0); got != tc.want {
+			t.Errorf("fast threshold with offered=%d: got %d, want %d", tc.offered, got, tc.want)
+		}
+	}
+}
+
+// TestTerminatorDefaultThresholdIgnoresOffers: the vanilla terminator uses
+// a fixed 2·N however many threads have already offered.
+func TestTerminatorDefaultThresholdIgnoresOffers(t *testing.T) {
+	tm := &terminator{total: 8}
+	for _, offered := range []int{0, 4, 7} {
+		tm.offered = offered
+		if got := tm.threshold(3); got != 16 {
+			t.Errorf("default threshold with offered=%d: got %d, want 16", offered, got)
+		}
+	}
+}
+
+// TestTerminatorNUMAThreshold: with per-thief local-thread counts set
+// (Gidra's NUMA termination), the threshold is 2·N_local for that thief.
+func TestTerminatorNUMAThreshold(t *testing.T) {
+	tm := &terminator{total: 8, localThreads: []int{4, 4, 4, 4, 2, 2, 2, 2}}
+	if got := tm.threshold(1); got != 8 {
+		t.Errorf("NUMA threshold for thief 1 = %d, want 8", got)
+	}
+	if got := tm.threshold(5); got != 4 {
+		t.Errorf("NUMA threshold for thief 5 = %d, want 4", got)
+	}
+}

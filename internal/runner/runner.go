@@ -1,0 +1,117 @@
+// Package runner provides the bounded worker pool that fans independent
+// simulation cells out across CPUs. The evaluation suite replays every
+// figure as a set of deterministic simulations; each cell derives its own
+// seed, so cells may execute in any order and on any goroutine without
+// changing the assembled output. The pool bounds in-flight cells (by
+// default to GOMAXPROCS) so a large fan-out never oversubscribes the
+// machine.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a bounded worker pool. The zero value is not usable; construct
+// with New. A Pool keeps no goroutines alive between calls — workers are
+// spawned per ForEach/Map call and bounded by the pool's size — so it is
+// cheap to create and needs no shutdown. Stats accumulate across calls,
+// letting a caller that shares one Pool report aggregate speedup.
+type Pool struct {
+	workers int
+	tasks   atomic.Int64
+	busy    atomic.Int64 // nanoseconds spent inside task functions
+}
+
+// New creates a pool running at most jobs tasks concurrently.
+// jobs <= 0 means GOMAXPROCS; jobs == 1 executes everything serially on
+// the calling goroutine.
+func New(jobs int) *Pool {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: jobs}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats returns the number of tasks executed so far and the aggregate time
+// spent inside them. busy divided by wall-clock time is the achieved
+// speedup.
+func (p *Pool) Stats() (tasks int64, busy time.Duration) {
+	return p.tasks.Load(), time.Duration(p.busy.Load())
+}
+
+// ForEach invokes fn(i) for every i in [0,n), distributing indices across
+// the pool's workers, and returns once all invocations have finished.
+// Indices are handed out in order but may complete out of order. If any
+// fn panics, ForEach stops handing out new indices, waits for in-flight
+// tasks, and re-panics the first panic value on the caller's goroutine.
+func (p *Pool) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	timed := func(i int) {
+		t0 := time.Now()
+		defer func() {
+			p.busy.Add(int64(time.Since(t0)))
+			p.tasks.Add(1)
+		}()
+		fn(i)
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			timed(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		aborted  atomic.Bool
+		panicMu  sync.Mutex
+		panicked any
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+					aborted.Store(true)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || aborted.Load() {
+					return
+				}
+				timed(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map runs fn over [0,n) on p's workers and returns the results in index
+// order, regardless of execution order.
+func Map[T any](p *Pool, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d, want GOMAXPROCS", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("New(7).Workers() = %d, want 7", got)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, jobs := range []int{1, 2, 4, 16} {
+		p := New(jobs)
+		const n = 200
+		var counts [n]atomic.Int32
+		p.ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	p := New(4)
+	ran := false
+	p.ForEach(0, func(int) { ran = true })
+	p.ForEach(-5, func(int) { ran = true })
+	if ran {
+		t.Error("ForEach ran tasks for n <= 0")
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	p := New(8)
+	got := Map(p, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapSerialEqualsParallel(t *testing.T) {
+	f := func(i int) int { return 31*i + 7 }
+	serial := Map(New(1), 64, f)
+	parallel := Map(New(8), 64, f)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		p := New(jobs)
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("jobs=%d: recovered %v, want boom", jobs, r)
+				}
+			}()
+			p.ForEach(50, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+			t.Errorf("jobs=%d: ForEach returned instead of panicking", jobs)
+		}()
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	p := New(4)
+	p.ForEach(10, func(int) {})
+	tasks, _ := p.Stats()
+	if tasks != 10 {
+		t.Errorf("Stats tasks = %d, want 10", tasks)
+	}
+	p.ForEach(5, func(int) {})
+	if tasks, _ = p.Stats(); tasks != 15 {
+		t.Errorf("Stats tasks after second call = %d, want 15", tasks)
+	}
+}

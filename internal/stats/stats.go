@@ -10,26 +10,39 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Histogram collects float64 samples and answers quantile queries. It keeps
-// all samples (the evaluation's request counts are modest).
+// all samples (the evaluation's request counts are modest). All methods are
+// safe for concurrent use: quantile queries sort a cached copy of the
+// samples under a mutex instead of reordering them in place, so concurrent
+// readers (e.g. two experiment cells rendering the same result) never race.
 type Histogram struct {
+	mu      sync.Mutex
 	samples []float64
-	sorted  bool
+	sorted  []float64 // cached ascending copy of samples; nil when stale
 }
 
 // Add records a sample.
 func (h *Histogram) Add(v float64) {
+	h.mu.Lock()
 	h.samples = append(h.samples, v)
-	h.sorted = false
+	h.sorted = nil
+	h.mu.Unlock()
 }
 
 // N returns the sample count.
-func (h *Histogram) N() int { return len(h.samples) }
+func (h *Histogram) N() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
 
 // Mean returns the arithmetic mean (0 when empty).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -43,24 +56,26 @@ func (h *Histogram) Mean() float64 {
 // Percentile returns the p-th percentile (p in [0,100]) using the
 // nearest-rank method; 0 when empty.
 func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
+	if h.sorted == nil {
+		h.sorted = append(make([]float64, 0, len(h.samples)), h.samples...)
+		sort.Float64s(h.sorted)
 	}
 	if p <= 0 {
-		return h.samples[0]
+		return h.sorted[0]
 	}
 	if p >= 100 {
-		return h.samples[len(h.samples)-1]
+		return h.sorted[len(h.sorted)-1]
 	}
-	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	rank := int(math.Ceil(p/100*float64(len(h.sorted)))) - 1
 	if rank < 0 {
 		rank = 0
 	}
-	return h.samples[rank]
+	return h.sorted[rank]
 }
 
 // Median is Percentile(50).

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -165,5 +166,50 @@ func TestRenderCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, `"a,b",1`) {
 		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+}
+
+// TestHistogramConcurrentReads is the -race regression test for the
+// in-place sort Percentile used to perform: concurrent quantile queries on
+// a shared Histogram must not race with each other or with Mean.
+func TestHistogramConcurrentReads(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 2000; i++ {
+		h.Add(float64((i * 7919) % 997))
+	}
+	want95 := h.Percentile(95)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := h.Percentile(95); got != want95 {
+					t.Errorf("concurrent Percentile(95) = %v, want %v", got, want95)
+					return
+				}
+				h.Median()
+				h.Mean()
+				h.Max()
+				h.N()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHistogramAddInvalidatesSortedCache(t *testing.T) {
+	h := &Histogram{}
+	h.Add(5)
+	h.Add(9)
+	if got := h.Percentile(0); got != 5 {
+		t.Fatalf("Percentile(0) = %v, want 5", got)
+	}
+	h.Add(1) // smaller than everything seen; cache must refresh
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("Percentile(0) after Add = %v, want 1", got)
+	}
+	if got := h.Percentile(100); got != 9 {
+		t.Errorf("Percentile(100) = %v, want 9", got)
 	}
 }

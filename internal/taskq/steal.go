@@ -55,11 +55,24 @@ func (s *Stats) FailureRate() float64 {
 	return float64(s.TotalFailures()) / float64(a)
 }
 
-// Merge adds other's counters into s.
+// Merge adds other's counters into s. The two Stats may come from runs
+// with different thread counts: s grows to hold other's extra thieves, and
+// thieves present only in s keep their counts. A nil other is a no-op.
 func (s *Stats) Merge(other *Stats) {
-	for i := range s.Attempts {
-		s.Attempts[i] += other.Attempts[i]
-		s.Failures[i] += other.Failures[i]
+	if other == nil {
+		return
+	}
+	if n := len(other.Attempts); n > len(s.Attempts) {
+		s.Attempts = append(s.Attempts, make([]int64, n-len(s.Attempts))...)
+	}
+	if n := len(other.Failures); n > len(s.Failures) {
+		s.Failures = append(s.Failures, make([]int64, n-len(s.Failures))...)
+	}
+	for i, v := range other.Attempts {
+		s.Attempts[i] += v
+	}
+	for i, v := range other.Failures {
+		s.Failures[i] += v
 	}
 }
 
@@ -145,13 +158,24 @@ func (s *semiRandom) RecordResult(self, victim int, success bool) {
 // --- NUMA-restricted stealing (Gidra et al., ported baseline, §5.2) --------
 
 type numaRestricted struct {
-	node []int // queue index -> node
+	node     []int   // queue index -> node
+	siblings [][]int // queue index -> node-local victim candidates
 }
 
 // NewNUMARestricted returns best-of-2 stealing restricted to victims on the
-// thief's NUMA node, per Gidra et al.'s NUMA-aware stealing.
+// thief's NUMA node, per Gidra et al.'s NUMA-aware stealing. The per-node
+// sibling lists are precomputed here so ChooseVictim — the hottest loop of
+// the simulation — does not allocate.
 func NewNUMARestricted(nodeOf []int) Policy {
-	return &numaRestricted{node: nodeOf}
+	p := &numaRestricted{node: nodeOf, siblings: make([][]int, len(nodeOf))}
+	for self := range nodeOf {
+		for i, n := range nodeOf {
+			if i != self && n == nodeOf[self] {
+				p.siblings[self] = append(p.siblings[self], i)
+			}
+		}
+	}
+	return p
 }
 
 func (p *numaRestricted) Name() string                                { return "numa-restricted" }
@@ -159,12 +183,7 @@ func (p *numaRestricted) AbortOnFailure() bool                        { return f
 func (p *numaRestricted) RecordResult(self, victim int, success bool) {}
 
 func (p *numaRestricted) ChooseVictim(self int, pool Pool, rng *rand.Rand) int {
-	var local []int
-	for i := 0; i < pool.NumQueues(); i++ {
-		if i != self && p.node[i] == p.node[self] {
-			local = append(local, i)
-		}
-	}
+	local := p.siblings[self]
 	if len(local) == 0 {
 		return -1
 	}

@@ -284,3 +284,111 @@ func TestRandOtherNeverSelf(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsMergeDifferentSizes: Merge used to index other's slices with
+// s's length and panic when the two Stats were sized for different thread
+// counts; now the receiver grows to cover the larger run.
+func TestStatsMergeDifferentSizes(t *testing.T) {
+	small := NewStats(2)
+	small.Attempts[0], small.Failures[0] = 3, 1
+	big := NewStats(4)
+	big.Attempts[3], big.Failures[3] = 7, 2
+
+	small.Merge(big) // must grow, not panic
+	if len(small.Attempts) != 4 || len(small.Failures) != 4 {
+		t.Fatalf("merged lengths = (%d,%d), want (4,4)", len(small.Attempts), len(small.Failures))
+	}
+	if small.TotalAttempts() != 10 || small.TotalFailures() != 3 {
+		t.Errorf("merged totals = (%d,%d), want (10,3)", small.TotalAttempts(), small.TotalFailures())
+	}
+	if small.Attempts[3] != 7 {
+		t.Errorf("grown slot Attempts[3] = %d, want 7", small.Attempts[3])
+	}
+
+	// Larger receiver keeps its extra thieves' counts.
+	wide := NewStats(3)
+	wide.Attempts[2] = 5
+	wide.Merge(NewStats(1))
+	if wide.Attempts[2] != 5 || len(wide.Attempts) != 3 {
+		t.Errorf("merge of smaller stats disturbed receiver: %+v", wide)
+	}
+
+	wide.Merge(nil) // no-op
+	if wide.TotalAttempts() != 5 {
+		t.Error("Merge(nil) changed totals")
+	}
+}
+
+// TestNUMARestrictedChooseVictimNoAlloc: the victim candidate lists are
+// precomputed in NewNUMARestricted, so the steal hot path must not
+// allocate.
+func TestNUMARestrictedChooseVictimNoAlloc(t *testing.T) {
+	nodeOf := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	var pool Pool = fakePool{3, 1, 4, 1, 5, 9, 2, 6}
+	p := NewNUMARestricted(nodeOf)
+	rng := rand.New(rand.NewSource(11))
+	allocs := testing.AllocsPerRun(200, func() {
+		if v := p.ChooseVictim(2, pool, rng); v < 0 {
+			t.Fatal("no victim on a populated node")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ChooseVictim allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestNUMARestrictedLoneThreadHasNoVictim(t *testing.T) {
+	// Queue 2 is alone on node 1.
+	p := NewNUMARestricted([]int{0, 0, 1, 0})
+	if v := p.ChooseVictim(2, fakePool{4, 4, 4, 4}, rand.New(rand.NewSource(1))); v != -1 {
+		t.Errorf("lone thread on its node got victim %d, want -1", v)
+	}
+}
+
+// TestSemiRandomFallbackWhenRememberedDrained: when the remembered victim's
+// queue is empty it is replaced by a random fallback, which must never be
+// the drained queue or the thief itself, and must vary across candidates.
+func TestSemiRandomFallbackWhenRememberedDrained(t *testing.T) {
+	pool := fakePool{0, 5, 0, 5}
+	p := NewSemiRandom(4).(*semiRandom)
+	p.RecordResult(0, 2, true) // queue 2 later drains to empty
+	rng := rand.New(rand.NewSource(3))
+	got := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		v := p.ChooseVictim(0, pool, rng)
+		switch v {
+		case 0:
+			t.Fatal("chose self")
+		case 2:
+			t.Fatal("chose the drained remembered victim")
+		case -1:
+			// Both random draws can land on the empty queue; a failed
+			// attempt is legal.
+		default:
+			got[v] = true
+		}
+	}
+	if !got[1] || !got[3] {
+		t.Errorf("random fallback did not vary victims: %v", got)
+	}
+}
+
+// TestSemiRandomTiePrefersFallbackCandidate: ties go to q2 (the remembered
+// slot). When the remembered victim was invalid and q2 was replaced by a
+// random fallback, that fallback — not q1 — must win ties, mirroring the
+// stickiness rule of Algorithm 2.
+func TestSemiRandomTiePrefersFallbackCandidate(t *testing.T) {
+	pool := fakePool{0, 4, 4, 4} // every candidate pair ties
+	p := NewSemiRandom(4).(*semiRandom)
+	p.lastSuccess[0] = 0 // invalid (self): forces the random fallback path
+	rng := rand.New(rand.NewSource(9))
+	ref := rand.New(rand.NewSource(9)) // replays the same draw sequence
+	for i := 0; i < 100; i++ {
+		_ = randOther(0, 4, ref) // q1
+		q2 := randOther(0, 4, ref)
+		if v := p.ChooseVictim(0, pool, rng); v != q2 {
+			t.Fatalf("iteration %d: tie broken to %d, want fallback candidate %d", i, v, q2)
+		}
+		p.lastSuccess[0] = 0 // ChooseVictim may not touch it, but be explicit
+	}
+}
