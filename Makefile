@@ -1,10 +1,12 @@
-# Developer / CI entry points. `make check` is the CI gate: it vets the
-# tree and runs every test under the race detector, covering the parallel
-# experiment runner and the concurrency-sensitive stats/taskq paths.
+# Developer / CI entry points. `make check` is the CI gate: it checks
+# formatting, vets the tree, and runs every test under the race detector,
+# covering the parallel experiment runner and the concurrency-sensitive
+# stats/taskq paths.
 
 GO ?= go
 
-.PHONY: build test race vet bench check results
+.PHONY: build test race vet fmt-check bench check results \
+	bench-smoke bench-baseline bench-compare
 
 build:
 	$(GO) build ./...
@@ -15,15 +17,49 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Fail when any file is not gofmt-clean (prints the offending files).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # Race-detector pass; the heavy full-scale determinism test auto-skips
 # under -race (its quick variant still runs).
 race:
 	$(GO) test -race ./...
 
-check: vet race
+check: fmt-check vet race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# One iteration of each simkit kernel micro-benchmark under the race
+# detector: a fast smoke test that the schedule/cancel/coroutine hot paths
+# still run clean, without waiting for a full benchmark pass.
+bench-smoke:
+	$(GO) test -race -run XXX -benchtime=1x -benchmem \
+		-bench 'BenchmarkSimkitSchedule$$|BenchmarkSimkitCancel$$|BenchmarkCoroSwitch$$' \
+		./internal/simkit/
+
+# benchstat workflow: record kernel + macro benchmarks before a change,
+# then compare after. benchstat is optional; without it, diff the files.
+#   make bench-baseline        # writes bench-baseline.txt
+#   ... hack ...
+#   make bench-compare         # writes bench-new.txt, runs benchstat
+BENCH_PKGS = ./internal/simkit/ .
+BENCH_COUNT ?= 5
+
+bench-baseline:
+	$(GO) test -run XXX -bench . -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
+		| tee bench-baseline.txt
+
+bench-compare:
+	$(GO) test -run XXX -bench . -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
+		| tee bench-new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench-baseline.txt bench-new.txt; \
+	else \
+		echo "benchstat not installed; compare bench-baseline.txt and bench-new.txt manually"; \
+	fi
 
 # Regenerate the full evaluation output (seed 42, all cores).
 results:

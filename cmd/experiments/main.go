@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro/internal/experiments"
@@ -39,8 +42,48 @@ func realMain() error {
 		jobs  = flag.Int("jobs", 0, "max concurrent simulation cells (0 = GOMAXPROCS, 1 = serial)")
 		out   = flag.String("o", "", "write output to file (default stdout)")
 		csv   = flag.String("csv", "", "also write each table as CSV into this directory")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return err
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // flush accurate allocation stats before the snapshot
+			if werr := pprof.Lookup("allocs").WriteTo(f, 0); werr != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", werr)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -46,7 +46,7 @@ func (k *Kernel) selectWakeCore(t *Thread) ostopo.CoreID {
 	// sibling is busy, which would halve both threads' speed.
 	pick := ostopo.CoreID(-1)
 	pickWholeIdle := false
-	for _, cand := range k.Topo.Domain(target, ostopo.DomainNode) {
+	for _, cand := range k.domain(target, ostopo.DomainNode) {
 		if !t.allowed(cand) {
 			continue
 		}
@@ -98,7 +98,7 @@ func (k *Kernel) newIdleBalance(c *core) bool {
 // minLoad runnable threads, or nil.
 func (k *Kernel) busiest(c *core, lvl ostopo.DomainLevel, minLoad int) *core {
 	var best *core
-	for _, id := range k.Topo.Domain(c.id, lvl) {
+	for _, id := range k.domain(c.id, lvl) {
 		cc := k.cores[id]
 		if cc.load() >= minLoad && (best == nil || cc.load() > best.load()) {
 			best = cc
@@ -153,6 +153,25 @@ func (k *Kernel) balanceInterval(lvl ostopo.DomainLevel) simkit.Time {
 	}
 }
 
+// balancer is one recurring per-core, per-level balance timer. It owns a
+// single prebuilt callback (fire) so that rearming each period does not
+// allocate a new closure.
+type balancer struct {
+	k     *Kernel
+	c     *core
+	lvl   ostopo.DomainLevel
+	every simkit.Time
+	fire  func()
+}
+
+func (b *balancer) run() {
+	if b.k.shutdown {
+		return
+	}
+	b.k.periodicBalance(b.c, b.lvl)
+	b.k.schedBalance(b, b.k.Sim.Now()+b.every)
+}
+
 // startPeriodicBalance arms the recurring per-core balance timers, staggered
 // per core so they do not all fire at the same instant.
 func (k *Kernel) startPeriodicBalance() {
@@ -162,20 +181,17 @@ func (k *Kernel) startPeriodicBalance() {
 			if every <= 0 {
 				continue
 			}
+			b := &balancer{k: k, c: c, lvl: lvl, every: every}
+			b.fire = b.run
+			k.balancers = append(k.balancers, b)
 			stagger := simkit.Time(int64(c.id)) * 17 * simkit.Microsecond
-			k.schedBalance(c, lvl, every, every+stagger)
+			k.schedBalance(b, every+stagger)
 		}
 	}
 }
 
-func (k *Kernel) schedBalance(c *core, lvl ostopo.DomainLevel, every, at simkit.Time) {
-	ev := k.Sim.At(at, func() {
-		if k.shutdown {
-			return
-		}
-		k.periodicBalance(c, lvl)
-		k.schedBalance(c, lvl, every, k.Sim.Now()+every)
-	})
+func (k *Kernel) schedBalance(b *balancer, at simkit.Time) {
+	ev := k.Sim.At(at, b.fire)
 	k.balEvents = append(k.balEvents, ev)
 	// Keep the cancel list from growing without bound: drop fired events.
 	if len(k.balEvents) > 4*len(k.cores)*3 {

@@ -1,0 +1,51 @@
+package cfs
+
+import "repro/internal/simkit"
+
+// Batcher coalesces fine-grained compute charges into chunked Compute
+// requests, so a simulated thread yields to the scheduler once per chunk
+// (one scheduling decision) instead of once per cost increment. Every
+// Compute is a full coroutine round trip plus a kernel timer event, so for
+// bodies that account work in nanosecond-scale increments (a GC thread
+// charging per object copied, per reference scanned) batching is the
+// difference between one event per increment and one event per chunk.
+//
+// The chunk size also bounds how long the thread runs without a scheduling
+// point, which keeps preemption and work stealing interleaving at a
+// realistic granularity: callers pick the chunk to match the modeled
+// system's natural quantum (e.g. the GC engine's ChunkWork calibration).
+//
+// Charges are deferred, so between a Charge and the flush that submits it
+// the simulated clock has not advanced past the charged work. Callers that
+// need exact time accounting around a block of work must Flush first.
+type Batcher struct {
+	env   *Env
+	acc   simkit.Time
+	chunk simkit.Time // flush threshold; must be positive
+}
+
+// NewBatcher creates a batcher submitting to e in chunks of at least chunk.
+func NewBatcher(e *Env, chunk simkit.Time) Batcher {
+	return Batcher{env: e, chunk: chunk}
+}
+
+// Env returns the environment the batcher submits to.
+func (b *Batcher) Env() *Env { return b.env }
+
+// Charge accrues d nanoseconds of compute work, yielding to the scheduler
+// once the accumulated work reaches the chunk size.
+func (b *Batcher) Charge(d simkit.Time) {
+	b.acc += d
+	if b.acc >= b.chunk {
+		b.env.Compute(b.acc)
+		b.acc = 0
+	}
+}
+
+// Flush submits any accrued work immediately.
+func (b *Batcher) Flush() {
+	if b.acc > 0 {
+		b.env.Compute(b.acc)
+		b.acc = 0
+	}
+}

@@ -17,6 +17,13 @@ func newTestKernel(t *testing.T, cores int, seed int64) (*simkit.Sim, *Kernel) {
 	t.Helper()
 	sim := simkit.New(seed)
 	t.Cleanup(sim.Close)
+	// A well-formed kernel model never schedules into the past; a nonzero
+	// clamp count means some path computed a stale deadline.
+	t.Cleanup(func() {
+		if n := sim.Clamped(); n != 0 {
+			t.Errorf("simulation clamped %d past-scheduled events, want 0", n)
+		}
+	})
 	topo := &ostopo.Topology{PhysCores: cores, SMTWays: 1, Nodes: 1}
 	return sim, NewKernel(sim, topo, DefaultParams())
 }

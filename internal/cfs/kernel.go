@@ -19,7 +19,13 @@ type Kernel struct {
 	nextTID int
 	active  *Thread // thread whose body is currently executing, if any
 
-	balEvents []*simkit.Event
+	// doms caches Topo.Domain for every (level, core) pair: the balancer
+	// and wake placement walk domains on every wake and idle transition,
+	// and Topo.Domain builds a fresh slice per call.
+	doms [3][][]ostopo.CoreID
+
+	balEvents []simkit.Event
+	balancers []*balancer
 	shutdown  bool
 	trace     *Trace
 
@@ -54,11 +60,12 @@ type core struct {
 	rq   []*Thread
 	curr *Thread
 
-	timer     *simkit.Event
+	timer     simkit.Event
+	timerKind timerKind // kind of the pending timer event
+	timerFn   func()    // prebuilt callback invoking onTimer(timerKind)
 	minVr     simkit.Time
 	idleSince simkit.Time
 	lastRun   *Thread // last thread that ran here (context-switch cost)
-
 }
 
 // NewKernel creates a kernel on the given simulator and topology.
@@ -70,10 +77,23 @@ func NewKernel(sim *simkit.Sim, topo *ostopo.Topology, p Params) *Kernel {
 	n := topo.NumCPUs()
 	k.cores = make([]*core, n)
 	for i := 0; i < n; i++ {
-		k.cores[i] = &core{id: ostopo.CoreID(i), k: k}
+		c := &core{id: ostopo.CoreID(i), k: k}
+		c.timerFn = func() { c.onTimer(c.timerKind) }
+		k.cores[i] = c
+	}
+	for lvl := ostopo.DomainSMT; lvl <= ostopo.DomainSystem; lvl++ {
+		k.doms[lvl] = make([][]ostopo.CoreID, n)
+		for i := 0; i < n; i++ {
+			k.doms[lvl][i] = topo.Domain(ostopo.CoreID(i), lvl)
+		}
 	}
 	k.startPeriodicBalance()
 	return k
+}
+
+// domain returns the cached Topo.Domain(c, lvl) set.
+func (k *Kernel) domain(c ostopo.CoreID, lvl ostopo.DomainLevel) []ostopo.CoreID {
+	return k.doms[lvl][c]
 }
 
 // Threads returns all threads ever spawned.
@@ -91,11 +111,11 @@ func (k *Kernel) Shutdown() {
 	k.balEvents = nil
 	for _, c := range k.cores {
 		k.Sim.Cancel(c.timer)
-		c.timer = nil
+		c.timer = simkit.Event{}
 	}
 	for _, t := range k.threads {
 		k.Sim.Cancel(t.sleepEv)
-		t.sleepEv = nil
+		t.sleepEv = simkit.Event{}
 	}
 }
 
@@ -113,8 +133,14 @@ func (k *Kernel) Spawn(name string, on ostopo.CoreID, body func(*Env)) *Thread {
 		env := &Env{T: t, yield: yield}
 		body(env)
 	})
+	t.sleepFn = func() {
+		t.sleepEv = simkit.Event{}
+		k.wake(t)
+	}
+	t.enqFn = func() { k.enqueue(t, t.enqTarget, t.enqWake) }
 	// Enqueue via an event so bodies never nest inside one another.
-	k.Sim.After(0, func() { k.enqueue(t, on, false) })
+	t.enqTarget, t.enqWake = on, false
+	k.Sim.After(0, t.enqFn)
 	return t
 }
 
@@ -203,7 +229,7 @@ func (c *core) sliceLen() simkit.Time {
 func (c *core) reprogram() {
 	k := c.k
 	k.Sim.Cancel(c.timer)
-	c.timer = nil
+	c.timer = simkit.Event{}
 	if c.curr == nil || k.shutdown {
 		return
 	}
@@ -219,13 +245,14 @@ func (c *core) reprogram() {
 			at, kind = sliceEnd, timerSlice
 		}
 	}
-	c.timer = k.Sim.At(at, func() { c.onTimer(kind) })
+	c.timerKind = kind
+	c.timer = k.Sim.At(at, c.timerFn)
 }
 
 func (c *core) onTimer(kind timerKind) {
 	k := c.k
 	now := k.Sim.Now()
-	c.timer = nil
+	c.timer = simkit.Event{}
 	t := c.curr
 	if t == nil {
 		return
@@ -257,7 +284,7 @@ func (c *core) deschedule(t *Thread, newState State) {
 	t.state = newState
 	c.curr = nil
 	c.k.Sim.Cancel(c.timer)
-	c.timer = nil
+	c.timer = simkit.Event{}
 	if sc != nil {
 		sc.reprogram() // sibling now runs at full speed
 	}
@@ -375,19 +402,15 @@ func (k *Kernel) advance(t *Thread) {
 			c.pickNext()
 			return
 		}
-		switch r := req.(type) {
+		switch req.kind {
 		case reqCompute:
-			t.remaining = r.d
+			t.remaining = req.d
 			c.reprogram()
 			return
 		case reqSleep:
 			c.deschedule(t, StateBlocked)
 			t.parked = false
-			dur := r.d
-			t.sleepEv = k.Sim.After(dur, func() {
-				t.sleepEv = nil
-				k.wake(t)
-			})
+			t.sleepEv = k.Sim.After(req.d, t.sleepFn)
 			c.pickNext()
 			return
 		case reqPark:
@@ -418,8 +441,8 @@ func (k *Kernel) advance(t *Thread) {
 			return
 		case reqMigrate:
 			c.deschedule(t, StateRunnable)
-			target := k.allowedTarget(t)
-			k.Sim.At(now, func() { k.enqueue(t, target, false) })
+			t.enqTarget, t.enqWake = k.allowedTarget(t), false
+			k.Sim.At(now, t.enqFn)
 			c.pickNext()
 			return
 		}
@@ -482,7 +505,8 @@ func (k *Kernel) enqueue(t *Thread, id ostopo.CoreID, wakeup bool) {
 		k.Stats.WakePreemptions++
 		// Preempt via a zero-delay timer so we never unwind a running body.
 		k.Sim.Cancel(c.timer)
-		c.timer = k.Sim.At(now, func() { c.onTimer(timerResched) })
+		c.timerKind = timerResched
+		c.timer = k.Sim.At(now, c.timerFn)
 		return
 	}
 	if wakeup {
@@ -522,7 +546,8 @@ func (k *Kernel) wake(t *Thread) {
 		}
 	}
 	t.wakePending = true
-	k.Sim.After(lat, func() { k.enqueue(t, target, true) })
+	t.enqTarget, t.enqWake = target, true
+	k.Sim.After(lat, t.enqFn)
 }
 
 // CoreLoads returns the per-core load_avg as visible to user space via

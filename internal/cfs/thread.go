@@ -35,20 +35,24 @@ func (s State) String() string {
 	return "?"
 }
 
-// request is what a thread body yields to the kernel.
-type request interface{ isReq() }
+// request is what a thread body yields to the kernel. It is a small value
+// (not an interface) so that yielding never allocates: the old interface
+// encoding boxed every reqCompute on the heap, one allocation per
+// scheduling point.
+type request struct {
+	d    simkit.Time // compute or sleep duration
+	kind reqKind
+}
 
-type reqCompute struct{ d simkit.Time }
-type reqSleep struct{ d simkit.Time }
-type reqPark struct{}
-type reqYield struct{}
-type reqMigrate struct{}
+type reqKind uint8
 
-func (reqCompute) isReq() {}
-func (reqSleep) isReq()   {}
-func (reqPark) isReq()    {}
-func (reqYield) isReq()   {}
-func (reqMigrate) isReq() {}
+const (
+	reqCompute reqKind = iota
+	reqSleep
+	reqPark
+	reqYield
+	reqMigrate
+)
 
 // Thread is a simulated OS thread.
 type Thread struct {
@@ -73,7 +77,17 @@ type Thread struct {
 	permit      bool   // LockSupport-style unpark permit
 	parked      bool   // blocked via Park (vs Sleep)
 	wakePending bool   // a wake event is in flight
-	sleepEv     *simkit.Event
+	sleepEv     simkit.Event
+
+	// Prebuilt event callbacks, allocated once at Spawn so the hot
+	// sleep/wake/migrate paths never build closures. Each is safe to share
+	// across uses because at most one instance is ever in flight per
+	// thread: sleepFn via sleepEv, enqFn via the wakePending flag (wake
+	// path) or the thread being off-queue (spawn and migrate paths).
+	sleepFn   func()
+	enqFn     func()
+	enqTarget ostopo.CoreID // pending enqFn destination
+	enqWake   bool          // pending enqFn is a wakeup
 
 	// Statistics.
 	CPUTime    simkit.Time
@@ -118,7 +132,7 @@ func (e *Env) Compute(d simkit.Time) {
 	if d <= 0 {
 		return
 	}
-	e.yield(reqCompute{d})
+	e.yield(request{d: d, kind: reqCompute})
 }
 
 // Sleep blocks the thread for d nanoseconds of virtual time.
@@ -126,7 +140,7 @@ func (e *Env) Sleep(d simkit.Time) {
 	if d <= 0 {
 		return
 	}
-	e.yield(reqSleep{d})
+	e.yield(request{d: d, kind: reqSleep})
 }
 
 // Park blocks the thread until another thread calls Kernel.Unpark on it.
@@ -138,12 +152,12 @@ func (e *Env) Park() {
 		e.T.permit = false
 		return
 	}
-	e.yield(reqPark{})
+	e.yield(request{kind: reqPark})
 }
 
 // YieldCPU gives up the CPU (sched_yield). If other threads are runnable on
 // this core, one of them is dispatched.
-func (e *Env) YieldCPU() { e.yield(reqYield{}) }
+func (e *Env) YieldCPU() { e.yield(request{kind: reqYield}) }
 
 // SetAffinity binds the thread to the given cores (empty clears the mask,
 // allowing all cores). If the thread is currently on a disallowed core it
@@ -167,6 +181,6 @@ func (e *Env) SetAffinity(cores ...ostopo.CoreID) {
 	}
 	t.affinity = mask
 	if !t.allowed(t.core) {
-		e.yield(reqMigrate{})
+		e.yield(request{kind: reqMigrate})
 	}
 }

@@ -89,6 +89,12 @@ type Mutator struct {
 	retained []heap.ObjID // medium-lived roots, FIFO window
 	anchor   heap.ObjID   // old-gen structure this mutator grows
 
+	// Scratch buffers reused across AllocCluster calls. The heap copies
+	// child references into the object record, so handing it the same
+	// backing array every time is safe.
+	sizes    []int32
+	children []heap.ObjID
+
 	AllocatedBytes int64
 	Clusters       int64
 }
@@ -132,7 +138,10 @@ func (m *Mutator) objSize() int32 {
 // cannot fit the cluster (time for a minor GC); nothing is allocated then.
 func (m *Mutator) AllocCluster() (bytes int64, ok bool) {
 	// Pre-compute sizes so we can check capacity atomically.
-	sizes := make([]int32, 1+m.p.ClusterFanout)
+	if cap(m.sizes) < 1+m.p.ClusterFanout {
+		m.sizes = make([]int32, 1+m.p.ClusterFanout)
+	}
+	sizes := m.sizes[:1+m.p.ClusterFanout]
 	var need int64
 	for i := range sizes {
 		sizes[i] = m.objSize()
@@ -141,7 +150,7 @@ func (m *Mutator) AllocCluster() (bytes int64, ok bool) {
 	if m.h.EdenFull(int32(min64(need, 1<<30))) {
 		return 0, false
 	}
-	children := make([]heap.ObjID, 0, m.p.ClusterFanout)
+	children := m.children[:0]
 	for i := 1; i < len(sizes); i++ {
 		id, ok := m.h.Alloc(sizes[i])
 		if !ok {
@@ -149,6 +158,7 @@ func (m *Mutator) AllocCluster() (bytes int64, ok bool) {
 		}
 		children = append(children, id)
 	}
+	m.children = children[:0]
 	head, hok := m.h.Alloc(sizes[0], children...)
 	if !hok {
 		return 0, false
@@ -183,7 +193,10 @@ func (m *Mutator) pushStack(head heap.ObjID) {
 		return
 	}
 	old := m.stack[0]
-	m.stack = m.stack[1:]
+	// Shift down in place rather than re-slicing: advancing the slice base
+	// makes every append past the window reallocate the backing array.
+	copy(m.stack, m.stack[1:])
+	m.stack = m.stack[:len(m.stack)-1]
 	if m.rng.Float64() < m.p.RetainProb && m.p.RetainWindow > 0 {
 		m.retained = append(m.retained, old)
 		if m.rng.Float64() < m.p.OldAttachProb {
@@ -197,7 +210,8 @@ func (m *Mutator) pushStack(head heap.ObjID) {
 			}
 		}
 		if len(m.retained) > m.p.RetainWindow {
-			m.retained = m.retained[1:]
+			copy(m.retained, m.retained[1:])
+			m.retained = m.retained[:len(m.retained)-1]
 			// Note: the evicted head may still be reachable via the
 			// anchor; that is intended (tenured garbage accumulates and
 			// is only reclaimed by a major GC after anchor trimming).

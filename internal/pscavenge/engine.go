@@ -173,36 +173,17 @@ func (g *Engine) execute(e *cfs.Env, w int, t *GCTask) {
 	}
 }
 
-// tracer accumulates tracing work and submits it to the scheduler in
-// chunks, bounding how long a GC thread runs without a scheduling point.
-type tracer struct {
-	e     *cfs.Env
-	acc   simkit.Time
-	limit simkit.Time
-}
-
-func (tr *tracer) charge(d simkit.Time) {
-	tr.acc += d
-	if tr.acc >= tr.limit {
-		tr.e.Compute(tr.acc)
-		tr.acc = 0
-	}
-}
-
-func (tr *tracer) flush() {
-	if tr.acc > 0 {
-		tr.e.Compute(tr.acc)
-		tr.acc = 0
-	}
-}
-
-func (g *Engine) newTracer(e *cfs.Env) tracer { return tracer{e: e, limit: g.Costs.ChunkWork} }
+// newTracer returns the tracing-work batcher: tracing costs accrue per
+// object and per reference, and the batcher submits them to the scheduler
+// in ChunkWork-sized chunks, bounding how long a GC thread runs without a
+// scheduling point.
+func (g *Engine) newTracer(e *cfs.Env) cfs.Batcher { return cfs.NewBatcher(e, g.Costs.ChunkWork) }
 
 func isYoung(sp heap.Space) bool { return sp == heap.SpaceEden || sp == heap.SpaceFrom }
 
 // scavengeStep copies one young object and pushes its unvisited young
 // children onto the worker's local queue.
-func (g *Engine) scavengeStep(tr *tracer, w int, id heap.ObjID, rep *GCReport) {
+func (g *Engine) scavengeStep(tr *cfs.Batcher, w int, id heap.ObjID, rep *GCReport) {
 	h := g.H
 	size, promoted, first := h.CopyYoung(id)
 	if !first {
@@ -217,12 +198,12 @@ func (g *Engine) scavengeStep(tr *tracer, w int, id heap.ObjID, rep *GCReport) {
 	if g.Opt.NUMA != nil {
 		cost = g.numaAdjust(tr, id, cost, rep, true)
 	}
-	tr.charge(cost)
+	tr.Charge(cost)
 	for _, r := range h.Get(id).Refs {
 		if r == 0 {
 			continue
 		}
-		tr.charge(g.Costs.RefScan)
+		tr.Charge(g.Costs.RefScan)
 		if !h.Visited(r) && isYoung(h.Get(r).Space) {
 			g.queues[w].PushBottom(r)
 		}
@@ -230,7 +211,7 @@ func (g *Engine) scavengeStep(tr *tracer, w int, id heap.ObjID, rep *GCReport) {
 }
 
 // markStep marks one object (full GC) and pushes all unvisited children.
-func (g *Engine) markStep(tr *tracer, w int, id heap.ObjID, rep *GCReport) {
+func (g *Engine) markStep(tr *cfs.Batcher, w int, id heap.ObjID, rep *GCReport) {
 	h := g.H
 	size, first := h.Mark(id)
 	if !first {
@@ -242,12 +223,12 @@ func (g *Engine) markStep(tr *tracer, w int, id heap.ObjID, rep *GCReport) {
 	if g.Opt.NUMA != nil {
 		cost = g.numaAdjust(tr, id, cost, rep, false)
 	}
-	tr.charge(cost)
+	tr.Charge(cost)
 	for _, r := range h.Get(id).Refs {
 		if r == 0 {
 			continue
 		}
-		tr.charge(g.Costs.RefScan)
+		tr.Charge(g.Costs.RefScan)
 		if !h.Visited(r) {
 			g.queues[w].PushBottom(r)
 		}
@@ -257,10 +238,10 @@ func (g *Engine) markStep(tr *tracer, w int, id heap.ObjID, rep *GCReport) {
 // numaAdjust applies the NUMA model to one object access: remote objects
 // cost RemoteFactor times as much; a copy (rehome=true) moves the object to
 // the accessing thread's node.
-func (g *Engine) numaAdjust(tr *tracer, id heap.ObjID, cost simkit.Time, rep *GCReport, rehome bool) simkit.Time {
+func (g *Engine) numaAdjust(tr *cfs.Batcher, id heap.ObjID, cost simkit.Time, rep *GCReport, rehome bool) simkit.Time {
 	m := g.Opt.NUMA
 	o := g.H.Get(id)
-	myNode := m.Topo.Node(tr.e.Core())
+	myNode := m.Topo.Node(tr.Env().Core())
 	if int(o.Node) != myNode {
 		rep.RemoteAccesses++
 		cost = simkit.Time(float64(cost) * m.RemoteFactor)
@@ -274,7 +255,7 @@ func (g *Engine) numaAdjust(tr *tracer, id heap.ObjID, cost simkit.Time, rep *GC
 }
 
 // drainLocal processes the worker's local queue to empty.
-func (g *Engine) drainLocal(tr *tracer, w int, rep *GCReport, mark bool) {
+func (g *Engine) drainLocal(tr *cfs.Batcher, w int, rep *GCReport, mark bool) {
 	for {
 		id, ok := g.queues[w].PopBottom()
 		if !ok {
@@ -294,13 +275,13 @@ func (g *Engine) runScavengeRoots(e *cfs.Env, w int, t *GCTask) {
 		if id == 0 {
 			continue
 		}
-		tr.charge(g.Costs.RefScan)
+		tr.Charge(g.Costs.RefScan)
 		if !g.H.Visited(id) && isYoung(g.H.Get(id).Space) {
 			g.queues[w].PushBottom(id)
 		}
 	}
 	g.drainLocal(&tr, w, t.rep, false)
-	tr.flush()
+	tr.Flush()
 }
 
 func (g *Engine) runOldToYoung(e *cfs.Env, w int, t *GCTask) {
@@ -310,14 +291,14 @@ func (g *Engine) runOldToYoung(e *cfs.Env, w int, t *GCTask) {
 			if r == 0 {
 				continue
 			}
-			tr.charge(g.Costs.RefScan)
+			tr.Charge(g.Costs.RefScan)
 			if !g.H.Visited(r) && isYoung(g.H.Get(r).Space) {
 				g.queues[w].PushBottom(r)
 			}
 		}
 	}
 	g.drainLocal(&tr, w, t.rep, false)
-	tr.flush()
+	tr.Flush()
 }
 
 func (g *Engine) runMarkRoots(e *cfs.Env, w int, t *GCTask) {
@@ -326,13 +307,13 @@ func (g *Engine) runMarkRoots(e *cfs.Env, w int, t *GCTask) {
 		if id == 0 {
 			continue
 		}
-		tr.charge(g.Costs.RefScan)
+		tr.Charge(g.Costs.RefScan)
 		if !g.H.Visited(id) {
 			g.queues[w].PushBottom(id)
 		}
 	}
 	g.drainLocal(&tr, w, t.rep, true)
-	tr.flush()
+	tr.Flush()
 }
 
 // runSteal is the StealTask body: steal → drain → (after enough consecutive
@@ -358,7 +339,7 @@ func (g *Engine) runSteal(e *cfs.Env, w int, t *GCTask) {
 				g.queues[w].PushBottom(id)
 				tr := g.newTracer(e)
 				g.drainLocal(&tr, w, rep, mark)
-				tr.flush()
+				tr.Flush()
 				fails = 0
 			}
 		}

@@ -31,6 +31,12 @@ func newRig(t *testing.T, seed int64, opt Options, nmut int) *rig {
 	t.Helper()
 	sim := simkit.New(seed)
 	t.Cleanup(sim.Close)
+	// The GC engine must never schedule into the past (see Sim.Clamped).
+	t.Cleanup(func() {
+		if n := sim.Clamped(); n != 0 {
+			t.Errorf("simulation clamped %d past-scheduled events, want 0", n)
+		}
+	})
 	k := cfs.NewKernel(sim, ostopo.PaperTestbed(), cfs.DefaultParams())
 	h, err := heap.New(heap.Config{
 		EdenBytes: 1 << 20, SurvivorBytes: 1 << 18, OldBytes: 1 << 22, TenureAge: 4,

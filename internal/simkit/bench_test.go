@@ -1,0 +1,111 @@
+package simkit
+
+import "testing"
+
+// Kernel micro-benchmarks. The schedule/fire and cancel paths must be
+// allocation-free in steady state (the pool and heap arrays are warm after
+// the first iterations); `make bench-smoke` runs these under -race, and the
+// alloc tests below pin the zero-allocation claim in the regular test run.
+
+func BenchmarkSimkitSchedule(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(10, nop)
+		s.Step()
+	}
+}
+
+func BenchmarkSimkitScheduleDeep(b *testing.B) {
+	// Same path with a standing queue of 1024 events, so push and pop
+	// actually traverse the 4-ary heap.
+	s := New(1)
+	for i := 0; i < 1024; i++ {
+		s.After(Time(1+i), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(2048, nop)
+		s.Step()
+	}
+}
+
+func BenchmarkSimkitCancel(b *testing.B) {
+	s := New(1)
+	for i := 0; i < 1024; i++ {
+		s.After(Time(1+i), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.After(512, nop)
+		s.Cancel(e)
+	}
+}
+
+func BenchmarkCoroSwitch(b *testing.B) {
+	s := New(1)
+	c := NewCoro(s, func(yield func(int)) {
+		for {
+			yield(0)
+		}
+	})
+	defer c.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Next()
+	}
+}
+
+func nop() {}
+
+// The alloc assertions run as plain tests so CI catches a regression even
+// when no one looks at benchmark output.
+
+func TestScheduleFireDoesNotAllocate(t *testing.T) {
+	s := New(1)
+	// Warm the pool and heap backing arrays.
+	for i := 0; i < 64; i++ {
+		s.After(10, nop)
+		s.Step()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		s.After(10, nop)
+		s.Step()
+	})
+	if avg != 0 {
+		t.Errorf("schedule+fire allocates %v objects per op, want 0", avg)
+	}
+}
+
+func TestCancelDoesNotAllocate(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 64; i++ {
+		s.After(Time(1+i), nop)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e := s.After(32, nop)
+		s.Cancel(e)
+	})
+	if avg != 0 {
+		t.Errorf("schedule+cancel allocates %v objects per op, want 0", avg)
+	}
+}
+
+func TestCoroSwitchDoesNotAllocate(t *testing.T) {
+	s := New(1)
+	c := NewCoro(s, func(yield func(int)) {
+		for {
+			yield(0)
+		}
+	})
+	defer c.Stop()
+	c.Next()
+	avg := testing.AllocsPerRun(1000, func() { c.Next() })
+	if avg != 0 {
+		t.Errorf("coroutine round trip allocates %v objects per op, want 0", avg)
+	}
+}

@@ -9,16 +9,37 @@ package simkit
 // handoff is what keeps the simulation deterministic and race-free even
 // though each coroutine is a real goroutine.
 //
+// The handoff is a single unbuffered channel carrying tagged messages. The
+// strict alternation means the channel never holds more than one message
+// in flight and each direction costs exactly one channel operation: the
+// sender hands its message straight to the blocked receiver and the
+// runtime's direct-handoff path readies it without a second wakeup. The
+// tags replace the old two-channel protocol (control channel + value
+// channel, plus a done channel for Stop) with one channel total.
+//
 // A Coro must be driven from a single goroutine (the simulation loop).
 type Coro[T any] struct {
-	out     chan T
-	in      chan struct{}
-	done    chan struct{} // closed when the body goroutine has exited
-	dead    bool          // body returned or Stop called; no more Next allowed
-	stopped bool          // Stop was called (in channel closed)
+	ch      chan coroMsg[T]
+	dead    bool // body returned or Stop called; no more Next allowed
+	stopped bool // Stop was called
 }
 
-// coroStop is the sentinel panic used to unwind a stopped coroutine body.
+// coroMsg is one message of the tagged resume/value protocol.
+type coroMsg[T any] struct {
+	v    T
+	kind coroKind
+}
+
+type coroKind uint8
+
+const (
+	coroResume coroKind = iota // driver → body: run to the next yield
+	coroStop                   // driver → body: unwind and exit
+	coroYield                  // body → driver: v carries the yielded value
+	coroDone                   // body → driver: body finished (or unwound)
+)
+
+// coroStopSentinel is the sentinel panic used to unwind a stopped body.
 type coroStopSentinel struct{}
 
 // NewCoro creates a coroutine running body. The body does not start until
@@ -27,27 +48,29 @@ type coroStopSentinel struct{}
 // it; otherwise Stop must be called if the body may still be suspended when
 // the coroutine is discarded.
 func NewCoro[T any](sim *Sim, body func(yield func(v T))) *Coro[T] {
-	c := &Coro[T]{out: make(chan T), in: make(chan struct{}), done: make(chan struct{})}
+	c := &Coro[T]{ch: make(chan coroMsg[T])}
 	if sim != nil {
 		sim.register(c)
 	}
 	go func() {
-		defer close(c.done)
+		if m := <-c.ch; m.kind == coroStop {
+			// Stopped before the first resume: the body never runs.
+			c.ch <- coroMsg[T]{kind: coroDone}
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(coroStopSentinel); !ok {
 					panic(r)
 				}
-				return // stopped: exit silently without touching channels
 			}
-			close(c.out)
+			// Normal return or Stop unwind (after the body's own deferred
+			// functions have run): hand the driver its final answer.
+			c.ch <- coroMsg[T]{kind: coroDone}
 		}()
-		if _, ok := <-c.in; !ok {
-			panic(coroStopSentinel{})
-		}
 		body(func(v T) {
-			c.out <- v
-			if _, ok := <-c.in; !ok {
+			c.ch <- coroMsg[T]{v: v, kind: coroYield}
+			if m := <-c.ch; m.kind == coroStop {
 				panic(coroStopSentinel{})
 			}
 		})
@@ -63,12 +86,14 @@ func (c *Coro[T]) Next() (T, bool) {
 		var zero T
 		return zero, false
 	}
-	c.in <- struct{}{}
-	v, ok := <-c.out
-	if !ok {
+	c.ch <- coroMsg[T]{kind: coroResume}
+	m := <-c.ch
+	if m.kind == coroDone {
 		c.dead = true
+		var zero T
+		return zero, false
 	}
-	return v, ok
+	return m.v, true
 }
 
 // Stop terminates a suspended coroutine, releasing its goroutine, and
@@ -83,11 +108,12 @@ func (c *Coro[T]) stop() {
 		return
 	}
 	c.stopped = true
-	if !c.dead {
-		c.dead = true
-		close(c.in)
+	if c.dead {
+		return
 	}
-	<-c.done
+	c.dead = true
+	c.ch <- coroMsg[T]{kind: coroStop}
+	<-c.ch // coroDone: the body has finished unwinding
 }
 
 // Done reports whether the coroutine has finished or been stopped.

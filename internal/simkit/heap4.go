@@ -1,0 +1,114 @@
+package simkit
+
+// This file implements the simulator's pending-event queue as an inlined
+// 4-ary array min-heap ordered by (at, seq). It replaces container/heap:
+// the entries are concrete 24-byte values compared without interface calls,
+// and a 4-ary layout halves the tree depth, which matters for the deep
+// queues the CFS model produces (one timer per core plus sleep, wake, and
+// balance events).
+//
+// Each entry carries the slot of its event record in the Sim's pool; every
+// move keeps the record's hidx field pointing at the entry so Cancel can
+// remove an arbitrary event in O(log₄ n) without a search.
+
+// heapEnt is one pending event in the scheduling queue.
+type heapEnt struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// entBefore is the total order on events: time, then schedule sequence.
+// seq is unique per Sim, so the order is strict and the pop sequence is
+// independent of the heap's internal layout — the determinism contract.
+func entBefore(a, b heapEnt) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// heapPush inserts e and records its final position in the event pool.
+func (s *Sim) heapPush(e heapEnt) {
+	s.pq = append(s.pq, e)
+	s.siftUp(len(s.pq) - 1)
+}
+
+// heapPopRoot removes and returns the minimum entry.
+func (s *Sim) heapPopRoot() heapEnt {
+	root := s.pq[0]
+	n := len(s.pq) - 1
+	last := s.pq[n]
+	s.pq[n] = heapEnt{}
+	s.pq = s.pq[:n]
+	if n > 0 {
+		s.pq[0] = last
+		s.events[last.slot].hidx = 0
+		s.siftDown(0)
+	}
+	return root
+}
+
+// heapRemove removes the entry at index i (for Cancel).
+func (s *Sim) heapRemove(i int) {
+	n := len(s.pq) - 1
+	last := s.pq[n]
+	s.pq[n] = heapEnt{}
+	s.pq = s.pq[:n]
+	if i == n {
+		return
+	}
+	s.pq[i] = last
+	s.events[last.slot].hidx = int32(i)
+	if !s.siftDown(i) {
+		s.siftUp(i)
+	}
+}
+
+// siftUp restores the heap property upward from i.
+func (s *Sim) siftUp(i int) {
+	e := s.pq[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		pe := s.pq[p]
+		if !entBefore(e, pe) {
+			break
+		}
+		s.pq[i] = pe
+		s.events[pe.slot].hidx = int32(i)
+		i = p
+	}
+	s.pq[i] = e
+	s.events[e.slot].hidx = int32(i)
+}
+
+// siftDown restores the heap property downward from i. It reports whether
+// the entry moved.
+func (s *Sim) siftDown(i int) bool {
+	n := len(s.pq)
+	e := s.pq[i]
+	start := i
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m, me := c, s.pq[c]
+		for j := c + 1; j < end; j++ {
+			if entBefore(s.pq[j], me) {
+				m, me = j, s.pq[j]
+			}
+		}
+		if !entBefore(me, e) {
+			break
+		}
+		s.pq[i] = me
+		s.events[me.slot].hidx = int32(i)
+		i = m
+	}
+	s.pq[i] = e
+	s.events[e.slot].hidx = int32(i)
+	return i != start
+}

@@ -1,0 +1,122 @@
+package simkit
+
+import "testing"
+
+// These tests pin down the event-handle lifecycle at the edges the pooled
+// arena introduces: handles must stay safe (strict no-ops) after their
+// record has been recycled for an unrelated event.
+
+func TestCancelThenFireSameTime(t *testing.T) {
+	// An event cancelled by an earlier event at the same timestamp must not
+	// fire, even though both were already in the queue for that instant.
+	s := New(1)
+	fired := false
+	var victim Event
+	s.At(10, func() { s.Cancel(victim) })
+	victim = s.At(10, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Error("event cancelled at its own timestamp still fired")
+	}
+	if s.Fired() != 1 {
+		t.Errorf("Fired() = %d, want 1", s.Fired())
+	}
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	s := New(1)
+	n := 0
+	e := s.At(10, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("event fired %d times, want 1", n)
+	}
+	// The handle's record is back in the pool; cancelling must not disturb
+	// anything, in particular not a later event that reuses the slot.
+	s.Cancel(e)
+	e2 := s.At(20, func() { n += 10 })
+	s.Cancel(e) // stale handle again, now with e2 occupying the slot
+	s.Run()
+	if n != 11 {
+		t.Errorf("n = %d, want 11 (stale Cancel must not kill the slot's new tenant)", n)
+	}
+	_ = e2
+}
+
+func TestRescheduleFromCallback(t *testing.T) {
+	// A callback that re-arms itself (the kernel-timer pattern): each firing
+	// frees the record before the callback runs, so the re-arm reuses the
+	// slot immediately. The chain must fire exactly n times.
+	s := New(1)
+	n := 0
+	var rearm func()
+	rearm = func() {
+		n++
+		if n < 5 {
+			s.After(10, rearm)
+		}
+	}
+	s.After(10, rearm)
+	s.Run()
+	if n != 5 {
+		t.Errorf("re-arming chain fired %d times, want 5", n)
+	}
+	if s.Now() != 50 {
+		t.Errorf("Now() = %v, want 50", s.Now())
+	}
+}
+
+func TestPendingOnReusedSlot(t *testing.T) {
+	// A fired handle whose slot has been recycled must report not-pending
+	// and At() == 0 even while the new tenant is pending (generation check).
+	s := New(1)
+	e1 := s.At(10, func() {})
+	s.Run()
+	if e1.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	e2 := s.At(30, func() {})
+	if e2.slot != e1.slot {
+		t.Fatalf("test setup: expected slot reuse, got %d then %d", e1.slot, e2.slot)
+	}
+	if e1.Pending() {
+		t.Error("stale handle reports pending after slot reuse")
+	}
+	if e1.At() != 0 {
+		t.Errorf("stale handle At() = %v, want 0", e1.At())
+	}
+	if !e2.Pending() || e2.At() != 30 {
+		t.Errorf("new tenant Pending()=%v At()=%v, want true, 30", e2.Pending(), e2.At())
+	}
+	// And cancelling the stale handle must leave the tenant alone.
+	s.Cancel(e1)
+	if !e2.Pending() {
+		t.Error("stale Cancel removed the slot's new tenant")
+	}
+}
+
+func TestCancelForeignSimIsNoOp(t *testing.T) {
+	// A handle from one Sim passed to another must be ignored, even when
+	// the slot and generation happen to collide.
+	a, b := New(1), New(2)
+	fired := false
+	ea := a.At(10, func() { fired = true })
+	b.At(10, func() {})
+	b.Cancel(ea)
+	a.Run()
+	if !fired {
+		t.Error("Cancel on a foreign Sim cancelled this Sim's event")
+	}
+}
+
+func TestClampedCounter(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {
+		s.At(5, func() {}) // past: clamped
+		s.At(100, func() {})
+	})
+	s.Run()
+	if s.Clamped() != 1 {
+		t.Errorf("Clamped() = %d, want 1", s.Clamped())
+	}
+}

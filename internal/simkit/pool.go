@@ -1,0 +1,49 @@
+package simkit
+
+// This file implements the Sim's event pool. Sim.At used to heap-allocate
+// one *Event per scheduled callback — the dominant allocation site of the
+// whole simulator, at roughly one allocation per fired event. The pool
+// replaces that with a free list of event records inside the Sim: steady
+// state schedules, fires, and cancels events with zero allocations.
+//
+// Handles stay safe across reuse through generation counters: every record
+// carries a gen that is incremented when the record is released (on fire or
+// cancel), and an Event handle captures the gen it was created under. A
+// stale handle's gen can never match a recycled record again, so Cancel and
+// Pending on old handles are harmless no-ops rather than corruption.
+
+// eventRec is the pooled storage behind an Event handle.
+type eventRec struct {
+	fn   func()
+	at   Time
+	gen  uint64
+	hidx int32 // index in the heap, -1 while the record is free
+}
+
+// allocSlot takes a record off the free list (or grows the pool) and
+// initializes it for a callback at time t. The heap index is set by the
+// subsequent heapPush.
+func (s *Sim) allocSlot(t Time, fn func()) int32 {
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.events = append(s.events, eventRec{})
+		slot = int32(len(s.events) - 1)
+	}
+	rec := &s.events[slot]
+	rec.fn = fn
+	rec.at = t
+	return slot
+}
+
+// freeSlot releases a record back to the pool, invalidating all handles to
+// it by bumping the generation.
+func (s *Sim) freeSlot(slot int32) {
+	rec := &s.events[slot]
+	rec.gen++
+	rec.fn = nil
+	rec.hidx = -1
+	s.free = append(s.free, slot)
+}

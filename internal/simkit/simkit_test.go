@@ -85,15 +85,15 @@ func TestCancel(t *testing.T) {
 	if e.Pending() {
 		t.Error("cancelled event still pending")
 	}
-	// Cancelling again, or cancelling nil, must be a no-op.
+	// Cancelling again, or cancelling the zero Event, must be a no-op.
 	s.Cancel(e)
-	s.Cancel(nil)
+	s.Cancel(Event{})
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
 	s := New(1)
 	fired := false
-	var e2 *Event
+	var e2 Event
 	s.At(10, func() { s.Cancel(e2) })
 	e2 = s.At(20, func() { fired = true })
 	s.Run()

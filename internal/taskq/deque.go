@@ -60,8 +60,33 @@ func (d *Deque[T]) PopTop() (T, bool) {
 	d.Steals++
 	if d.Empty() {
 		d.reset()
+	} else if d.top > len(d.items)/2 {
+		d.compact()
 	}
 	return v, true
+}
+
+// Cap exposes the backing array's capacity (for tests and instrumentation).
+func (d *Deque[T]) Cap() int { return cap(d.items) }
+
+// compact copies the live region down over the dead prefix. Without it a
+// heavily stolen-from deque keeps its high-water-mark backing array for the
+// whole scavenge, since the prefix is only dropped on a full drain. When the
+// live region has shrunk to a quarter of a large backing array, the array is
+// reallocated at the live size so the memory is actually released.
+func (d *Deque[T]) compact() {
+	n := copy(d.items, d.items[d.top:])
+	var zero T
+	for i := n; i < len(d.items); i++ {
+		d.items[i] = zero
+	}
+	d.items = d.items[:n]
+	d.top = 0
+	if cap(d.items) >= 64 && n <= cap(d.items)/4 {
+		shrunk := make([]T, n)
+		copy(shrunk, d.items)
+		d.items = shrunk
+	}
 }
 
 func (d *Deque[T]) reset() {

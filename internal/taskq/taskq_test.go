@@ -392,3 +392,88 @@ func TestSemiRandomTiePrefersFallbackCandidate(t *testing.T) {
 		p.lastSuccess[0] = 0 // ChooseVictim may not touch it, but be explicit
 	}
 }
+
+func TestDequeCompactsDeadPrefix(t *testing.T) {
+	// A deque that is mostly stolen from must not hold its high-water-mark
+	// backing array: once top passes the halfway point the live region is
+	// copied down, and a grossly oversized array is reallocated smaller.
+	var d Deque[int]
+	const n = 1024
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+	}
+	grown := d.Cap()
+	if grown < n {
+		t.Fatalf("backing array cap = %d, want >= %d", grown, n)
+	}
+	// Steal most of the queue, leaving a small live tail.
+	for i := 0; i < n-16; i++ {
+		v, ok := d.PopTop()
+		if !ok || v != i {
+			t.Fatalf("PopTop #%d = (%d,%v), want (%d,true)", i, v, ok, i)
+		}
+	}
+	if d.Cap() >= grown {
+		t.Errorf("cap = %d after heavy stealing, want shrunk below %d", d.Cap(), grown)
+	}
+	// Order of the remaining window must be intact from both ends.
+	if v, _ := d.PopTop(); v != n-16 {
+		t.Errorf("PopTop after compaction = %d, want %d", v, n-16)
+	}
+	if v, _ := d.PopBottom(); v != n-1 {
+		t.Errorf("PopBottom after compaction = %d, want %d", v, n-1)
+	}
+	for want := n - 15; want <= n-2; want++ {
+		v, ok := d.PopTop()
+		if !ok || v != want {
+			t.Fatalf("drain PopTop = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if !d.Empty() {
+		t.Error("deque not empty after drain")
+	}
+}
+
+func TestDequeCompactionPreservesMixedOrder(t *testing.T) {
+	// Interleave pushes with heavy stealing across the compaction threshold
+	// and check against a reference slice model.
+	var d Deque[int]
+	var model []int
+	next := 0
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 10000; step++ {
+		switch k := rng.Intn(5); {
+		case k < 2:
+			d.PushBottom(next)
+			model = append(model, next)
+			next++
+		case k < 4:
+			v, ok := d.PopTop()
+			wantOK := len(model) > 0
+			if ok != wantOK {
+				t.Fatalf("step %d: PopTop ok=%v, want %v", step, ok, wantOK)
+			}
+			if ok {
+				if v != model[0] {
+					t.Fatalf("step %d: PopTop = %d, want %d", step, v, model[0])
+				}
+				model = model[1:]
+			}
+		default:
+			v, ok := d.PopBottom()
+			wantOK := len(model) > 0
+			if ok != wantOK {
+				t.Fatalf("step %d: PopBottom ok=%v, want %v", step, ok, wantOK)
+			}
+			if ok {
+				if v != model[len(model)-1] {
+					t.Fatalf("step %d: PopBottom = %d, want %d", step, v, model[len(model)-1])
+				}
+				model = model[:len(model)-1]
+			}
+		}
+		if d.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, want %d", step, d.Len(), len(model))
+		}
+	}
+}
