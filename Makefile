@@ -6,7 +6,7 @@
 GO ?= go
 
 .PHONY: build test race vet fmt-check bench check results \
-	bench-smoke bench-baseline bench-compare
+	bench-smoke bench-baseline bench-compare trace-smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,17 @@ bench-compare:
 	else \
 		echo "benchstat not installed; compare bench-baseline.txt and bench-new.txt manually"; \
 	fi
+
+# Observability smoke test: a small traced gcsim run must export a
+# Perfetto file containing events from all five instrumented layers
+# (tracecheck exits non-zero otherwise), and the full scale-4 evaluation
+# with tracing enabled must still match the committed golden fixture.
+TRACE_SMOKE_OUT ?= /tmp/gcsim-trace-smoke.json
+trace-smoke:
+	$(GO) run ./cmd/gcsim -bench lusearch -mutators 8 -gcthreads 4 \
+		-evtrace $(TRACE_SMOKE_OUT) -lockprofile -metrics
+	$(GO) run ./cmd/tracecheck $(TRACE_SMOKE_OUT)
+	$(GO) test -run 'TestGoldenScale4TracingEnabled' ./internal/experiments/
 
 # Regenerate the full evaluation output (seed 42, all cores).
 results:

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/schedtrace"
 )
 
 func main() {
@@ -46,6 +48,9 @@ func realMain() error {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
+
+		evtraceDir = flag.String("evtrace-dir", "", "write per-cell Perfetto traces into <dir>/<experiment>/cell-NNN.json")
+		timeline   = flag.Int("timeline", -1, "render a scheduling timeline for this cell index (single -run only)")
 	)
 	flag.Parse()
 
@@ -108,6 +113,13 @@ func realMain() error {
 			return err
 		}
 	}
+	if *timeline >= 0 && len(todo) > 1 {
+		return fmt.Errorf("-timeline needs a single experiment (use -run <id>)")
+	}
+	ropt := runOptions{
+		seed: *seed, scale: *scale, jobs: *jobs,
+		csvDir: *csv, evtraceDir: *evtraceDir, timeline: *timeline,
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -118,7 +130,7 @@ func realMain() error {
 		// surface write and Close errors so a full disk is not reported
 		// as success (table rendering itself ignores fmt errors).
 		ew := &errWriter{w: f}
-		err = runExperiments(ew, todo, *seed, *scale, *jobs, *csv)
+		err = runExperiments(ew, todo, ropt)
 		if err == nil {
 			err = ew.err
 		}
@@ -127,7 +139,16 @@ func realMain() error {
 		}
 		return err
 	}
-	return runExperiments(os.Stdout, todo, *seed, *scale, *jobs, *csv)
+	return runExperiments(os.Stdout, todo, ropt)
+}
+
+// runOptions carries the CLI knobs that shape an experiment batch.
+type runOptions struct {
+	seed        int64
+	scale, jobs int
+	csvDir      string
+	evtraceDir  string
+	timeline    int // cell index to render, -1 = off
 }
 
 // errWriter remembers the first write error on the -o file.
@@ -144,19 +165,34 @@ func (e *errWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func runExperiments(w io.Writer, todo []experiments.Experiment, seed int64, scale, jobs int, csvDir string) error {
-	pool := runner.New(jobs)
-	opt := experiments.Options{Seed: seed, Scale: scale, Jobs: jobs, Pool: pool}
+func runExperiments(w io.Writer, todo []experiments.Experiment, ro runOptions) error {
+	pool := runner.New(ro.jobs)
+	opt := experiments.Options{Seed: ro.seed, Scale: ro.scale, Jobs: ro.jobs, Pool: pool}
 	start := time.Now()
 	for _, e := range todo {
+		eopt := opt
+		if ro.evtraceDir != "" {
+			eopt.TraceDir = filepath.Join(ro.evtraceDir, e.ID)
+			if err := os.MkdirAll(eopt.TraceDir, 0o755); err != nil {
+				return err
+			}
+		}
+		if ro.timeline >= 0 {
+			eopt.Timeline = &experiments.TimelineCapture{Cell: ro.timeline}
+		}
 		t0 := time.Now()
 		cells0, busy0 := pool.Stats()
-		res := e.Run(opt)
+		res := e.Run(eopt)
 		wall := time.Since(t0)
 		cells1, busy1 := pool.Stats()
 		res.Render(w)
-		if csvDir != "" {
-			if err := res.WriteCSV(csvDir); err != nil {
+		if ro.csvDir != "" {
+			if err := res.WriteCSV(ro.csvDir); err != nil {
+				return err
+			}
+		}
+		if eopt.Timeline != nil {
+			if err := renderTimeline(w, e.ID, eopt.Timeline); err != nil {
 				return err
 			}
 		}
@@ -169,6 +205,28 @@ func runExperiments(w io.Writer, todo []experiments.Experiment, seed int64, scal
 		fmt.Fprintf(os.Stderr, "total: %d cells in %.1fs wall (%.1fs cpu, %.1fx speedup)\n",
 			cells, wall.Seconds(), busy.Seconds(), speedup(busy, wall))
 	}
+	return nil
+}
+
+// renderTimeline draws the captured cell's scheduling around a mid-run
+// GC — the same view as gcsim -timeline, but for an experiment cell.
+func renderTimeline(w io.Writer, id string, tc *experiments.TimelineCapture) error {
+	r := tc.Result
+	if r == nil {
+		return fmt.Errorf("-timeline %d: experiment %s has no such cell", tc.Cell, id)
+	}
+	if len(r.Reports) == 0 || r.Trace == nil {
+		return fmt.Errorf("-timeline %d: cell recorded no collections", tc.Cell)
+	}
+	rep := r.Reports[len(r.Reports)/2]
+	pad := rep.Pause() / 4
+	from, to := rep.Start-pad, rep.End+pad
+	if from < 0 {
+		from = 0
+	}
+	fmt.Fprintf(w, "timeline: %s cell %d (%s): GC #%d %s, pause %v, %d cores used\n",
+		id, tc.Cell, r.Benchmark, rep.Seq, rep.Kind, rep.Pause(), rep.CoresUsed())
+	schedtrace.Render(w, r.Trace, r.NumCPUs, from, to, schedtrace.Options{Width: 100, Legend: true})
 	return nil
 }
 

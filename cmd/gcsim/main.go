@@ -15,12 +15,11 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/evtrace"
 	"repro/internal/gclog"
 	"repro/internal/jvm"
-	"repro/internal/ostopo"
 	"repro/internal/schedtrace"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -38,9 +37,14 @@ func main() {
 		smt      = flag.Bool("smt", false, "enable SMT (40 logical CPUs)")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		gclogF   = flag.Bool("gclog", false, "print a HotSpot-style GC log")
-		gcjson   = flag.String("gcjson", "", "write the GC log as JSON to a file")
+		gcjson   = flag.String("gcjson", "", "write the run (GC log + monitor/steal/metrics counters) as JSON to a file")
 		timeline = flag.Bool("timeline", false, "render a scheduling timeline around a mid-run GC")
 		runs     = flag.Int("runs", 1, "average over this many seeds (the paper averages 10 runs)")
+
+		evtraceOut = flag.String("evtrace", "", "write a Perfetto trace-event JSON file (load in ui.perfetto.dev)")
+		evtraceCap = flag.Int("evtrace-cap", evtrace.DefaultSinkCap, "event-ring capacity per layer (oldest events are dropped beyond this)")
+		lockprof   = flag.Bool("lockprofile", false, "print the GCTaskManager lock-contention profile (ownership transitions, reacquisition runs)")
+		metricsF   = flag.Bool("metrics", false, "print the unified metrics registry after the run")
 	)
 	flag.Parse()
 
@@ -98,18 +102,55 @@ func main() {
 		return
 	}
 
-	res, err := core.Run(cfg)
+	spec, err := core.BuildRunSpec(cfg)
+	if err != nil {
+		fail(err)
+	}
+	// Observability hooks: the event tracer feeds both the Perfetto export
+	// and the lock profiler; the registry feeds -metrics and -gcjson.
+	var tracer *evtrace.Tracer
+	if *evtraceOut != "" || *lockprof {
+		tracer = evtrace.New(*evtraceCap)
+		spec.EvTracer = tracer
+	}
+	var reg *evtrace.Registry
+	if *metricsF || *gcjson != "" {
+		reg = evtrace.NewRegistry()
+		spec.Metrics = reg
+	}
+	res, err := jvm.Run(spec)
 	if err != nil {
 		fail(err)
 	}
 	report(*opt, res, *gclogF)
+	if *evtraceOut != "" {
+		f, err := os.Create(*evtraceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := evtrace.WritePerfetto(f, tracer); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d trace events to %s (open in https://ui.perfetto.dev)\n", tracer.Len(), *evtraceOut)
+	}
+	if *lockprof {
+		evtrace.BuildLockProfile(tracer, "GCTaskManager").Render(os.Stdout)
+	}
+	if *metricsF {
+		fmt.Println("metrics:")
+		reg.Render(os.Stdout)
+	}
 	if *gcjson != "" {
 		f, err := os.Create(*gcjson)
 		if err != nil {
 			fail(err)
 		}
 		defer f.Close()
-		if err := gclog.WriteJSON(f, res.Reports); err != nil {
+		if err := gclog.WriteRunJSON(f, res.Reports, res.Monitor, res.Steal, reg.Current()); err != nil {
 			fail(err)
 		}
 	}
@@ -141,31 +182,12 @@ func report(label string, r *core.Result, printLog bool) {
 // the timeline around a representative mid-run minor GC — the stacked
 // vanilla collection and the spread optimized one are plainly visible.
 func renderTimeline(cfg core.Config) error {
-	p, err := workload.ByName(cfg.Benchmark)
+	spec, err := core.BuildRunSpec(cfg)
 	if err != nil {
 		return err
 	}
-	jcfg := jvm.Config{
-		Profile: p, Mutators: cfg.Mutators, GCThreads: cfg.GCThreads,
-		HeapMB: cfg.HeapMB, Clients: cfg.Clients, Requests: cfg.Requests,
-		Seed: cfg.Seed,
-	}
-	switch cfg.Optimizations {
-	case core.OptAffinity:
-		jcfg = jcfg.WithAffinityOnly()
-	case core.OptSteal:
-		jcfg = jcfg.WithStealOnly()
-	case core.OptAll:
-		jcfg = jcfg.WithOptimizations()
-	}
-	topo := ostopo.PaperTestbed()
-	if cfg.SMT {
-		topo = ostopo.PaperTestbedSMT()
-	}
-	r, err := jvm.Run(jvm.RunSpec{
-		Config: jcfg, Topo: topo, Seed: cfg.Seed,
-		BusyLoops: cfg.BusyLoops, Trace: true,
-	})
+	spec.Trace = true
+	r, err := jvm.Run(spec)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,80 @@
+// Command tracecheck validates Perfetto trace-event JSON files produced
+// by gcsim -evtrace or experiments -evtrace-dir: each file must parse and
+// contain at least one event from every instrumented layer (simkit, cfs,
+// jmutex, taskq, pscavenge). Exits non-zero on any failure, so it works
+// as a smoke-test gate (see the Makefile's trace-smoke target).
+//
+// Usage:
+//
+//	tracecheck out.json traces/fig3a/cell-000.json ...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/evtrace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [more.json ...]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// check parses one exported trace and requires every layer's category.
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Cat string `json:"cat"`
+			Ph  string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Cat != "" {
+			counts[e.Cat]++
+		}
+	}
+	var missing, have []string
+	for _, l := range evtrace.Layers() {
+		name := l.String()
+		if counts[name] == 0 {
+			missing = append(missing, name)
+		} else {
+			have = append(have, fmt.Sprintf("%s=%d", name, counts[name]))
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("missing layers: %s (present: %s)",
+			strings.Join(missing, ", "), strings.Join(have, " "))
+	}
+	fmt.Printf("%s: ok (%d events; %s)\n", path, len(doc.TraceEvents), strings.Join(have, " "))
+	return nil
+}

@@ -1,6 +1,7 @@
 package cfs
 
 import (
+	"repro/internal/evtrace"
 	"repro/internal/ostopo"
 	"repro/internal/simkit"
 )
@@ -85,8 +86,13 @@ func (k *Kernel) newIdleBalance(c *core) bool {
 	now := k.Sim.Now()
 	for _, lvl := range []ostopo.DomainLevel{ostopo.DomainNode, ostopo.DomainSystem} {
 		if src := k.busiest(c, lvl, 2); src != nil {
-			if k.pullOne(src, c, now) {
+			if t := k.pullOne(src, c, now); t != nil {
 				k.Stats.NewIdlePulls++
+				if k.etr != nil {
+					k.etr.Emit(evtrace.Event{Kind: evtrace.KNewIdlePull, At: int64(now),
+						Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
+						Arg1: int64(src.id), Arg2: int64(lvl)})
+				}
 				return true
 			}
 		}
@@ -108,8 +114,9 @@ func (k *Kernel) busiest(c *core, lvl ostopo.DomainLevel, minLoad int) *core {
 }
 
 // pullOne migrates one eligible queued (not running, not cache-hot,
-// affinity-permitting) thread from src to dst. The caller dispatches.
-func (k *Kernel) pullOne(src, dst *core, now simkit.Time) bool {
+// affinity-permitting) thread from src to dst, returning the migrated
+// thread or nil. The caller dispatches.
+func (k *Kernel) pullOne(src, dst *core, now simkit.Time) *Thread {
 	var best *Thread
 	for _, t := range src.rq {
 		if !t.allowed(dst.id) {
@@ -123,14 +130,14 @@ func (k *Kernel) pullOne(src, dst *core, now simkit.Time) bool {
 		}
 	}
 	if best == nil {
-		return false
+		return nil
 	}
 	src.remove(best)
 	src.reprogram()
 	best.vruntime = best.vruntime - src.minVr + dst.minVr
 	best.Migrations++
 	dst.push(best)
-	return true
+	return best
 }
 
 // balanceLevels lists the domain levels a topology actually has.
@@ -212,8 +219,13 @@ func (k *Kernel) periodicBalance(c *core, lvl ostopo.DomainLevel) {
 	if src == nil {
 		return
 	}
-	if k.pullOne(src, c, k.Sim.Now()) {
+	if t := k.pullOne(src, c, k.Sim.Now()); t != nil {
 		k.Stats.PeriodicPulls++
+		if k.etr != nil {
+			k.etr.Emit(evtrace.Event{Kind: evtrace.KPeriodicPull, At: int64(k.Sim.Now()),
+				Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
+				Arg1: int64(src.id), Arg2: int64(lvl)})
+		}
 		if c.curr == nil {
 			c.pickNext()
 		} else {

@@ -3,6 +3,7 @@ package cfs
 import (
 	"fmt"
 
+	"repro/internal/evtrace"
 	"repro/internal/ostopo"
 	"repro/internal/simkit"
 )
@@ -28,6 +29,7 @@ type Kernel struct {
 	balancers []*balancer
 	shutdown  bool
 	trace     *Trace
+	etr       *evtrace.Tracer
 
 	Stats KernelStats
 }
@@ -96,6 +98,15 @@ func (k *Kernel) domain(c ostopo.CoreID, lvl ostopo.DomainLevel) []ostopo.CoreID
 	return k.doms[lvl][c]
 }
 
+// SetEvTracer installs the structured event-bus tracer (nil disables it).
+// Tracing is record-only — it never alters scheduling decisions — so runs
+// are byte-identical with tracing on or off. Install before spawning
+// threads so their names reach the trace's thread registry.
+func (k *Kernel) SetEvTracer(t *evtrace.Tracer) { k.etr = t }
+
+// EvTracer returns the installed event-bus tracer, or nil.
+func (k *Kernel) EvTracer() *evtrace.Tracer { return k.etr }
+
 // Threads returns all threads ever spawned.
 func (k *Kernel) Threads() []*Thread { return k.threads }
 
@@ -129,6 +140,9 @@ func (k *Kernel) Spawn(name string, on ostopo.CoreID, body func(*Env)) *Thread {
 	t := &Thread{ID: k.nextTID, Name: name, k: k, core: on, state: StateBlocked}
 	k.nextTID++
 	k.threads = append(k.threads, t)
+	if k.etr != nil {
+		k.etr.RegisterThread(int32(t.ID), name)
+	}
 	t.coro = simkit.NewCoro(k.Sim, func(yield func(request)) {
 		env := &Env{T: t, yield: yield}
 		body(env)
@@ -266,6 +280,10 @@ func (c *core) onTimer(kind timerKind) {
 		// Preempt: requeue and pick the next thread.
 		if kind == timerSlice {
 			k.Stats.Preemptions++
+			if k.etr != nil {
+				k.etr.Emit(evtrace.Event{Kind: evtrace.KPreempt, At: int64(now),
+					Core: int32(c.id), TID: int32(t.ID), Name: t.Name})
+			}
 		}
 		c.deschedule(t, StateRunnable)
 		c.push(t)
@@ -279,6 +297,13 @@ func (c *core) deschedule(t *Thread, newState State) {
 	sc := c.siblingCheckpoint() // account the sibling at the pre-flip speed
 	if c.k.trace != nil {
 		c.k.trace.onDeschedule(c.id, now)
+	}
+	if c.k.etr != nil {
+		// The whole on-CPU interval becomes one dispatch span.
+		c.k.etr.Emit(evtrace.Event{
+			Kind: evtrace.KDispatch, At: int64(t.dispatchedAt), Dur: int64(now - t.dispatchedAt),
+			Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
+		})
 	}
 	t.lastRanAt = now
 	t.state = newState
@@ -479,6 +504,11 @@ func (k *Kernel) enqueue(t *Thread, id ostopo.CoreID, wakeup bool) {
 		// Renormalize vruntime across runqueues.
 		t.vruntime = t.vruntime - k.cores[t.core].minVr + c.minVr
 		t.Migrations++
+		if k.etr != nil {
+			k.etr.Emit(evtrace.Event{Kind: evtrace.KMigrate, At: int64(now),
+				Core: int32(id), TID: int32(t.ID), Name: t.Name,
+				Arg1: int64(t.core), Arg2: int64(id)})
+		}
 	}
 	if wakeup {
 		floor := c.minVr - k.P.SleeperCredit
@@ -547,6 +577,11 @@ func (k *Kernel) wake(t *Thread) {
 	}
 	t.wakePending = true
 	t.enqTarget, t.enqWake = target, true
+	if k.etr != nil {
+		k.etr.Emit(evtrace.Event{Kind: evtrace.KWakeup, At: int64(now),
+			Core: int32(target), TID: int32(t.ID), Name: t.Name,
+			Arg1: int64(target), Arg2: int64(lat)})
+	}
 	k.Sim.After(lat, t.enqFn)
 }
 

@@ -48,17 +48,29 @@ func (tr *Trace) CloseOpen(now simkit.Time) {
 	}
 }
 
-// Window returns the segments overlapping [from, to).
+// Window returns copies of the segments overlapping [from, to), clipped
+// to the window: starts are clamped to from, and ends — including the
+// sentinel End of still-open segments — are clamped to to. An empty or
+// inverted window returns nil, as do segments that clip to zero length,
+// so callers can sum returned durations without re-clamping.
 func (tr *Trace) Window(from, to simkit.Time) []Segment {
+	if to <= from {
+		return nil
+	}
 	var out []Segment
 	for _, s := range tr.Segments {
 		end := s.End
-		if end < 0 {
+		if end < 0 || end > to {
 			end = to
 		}
-		if s.Start < to && end > from {
-			out = append(out, s)
+		if s.Start < from {
+			s.Start = from
 		}
+		if s.Start >= end {
+			continue
+		}
+		s.End = end
+		out = append(out, s)
 	}
 	return out
 }

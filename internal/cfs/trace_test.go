@@ -1,0 +1,94 @@
+package cfs
+
+import (
+	"testing"
+
+	"repro/internal/simkit"
+)
+
+// forged builds a trace from raw segments (Window never touches Thread).
+func forged(segs ...Segment) *Trace {
+	tr := NewTrace()
+	tr.Segments = segs
+	return tr
+}
+
+func TestWindowClipsToBounds(t *testing.T) {
+	tr := forged(
+		Segment{Core: 0, Start: 0, End: 10},  // straddles the left edge
+		Segment{Core: 0, Start: 10, End: 20}, // straddles the right edge
+		Segment{Core: 1, Start: 12, End: 14}, // fully inside
+		Segment{Core: 2, Start: 20, End: 30}, // fully after
+		Segment{Core: 3, Start: 0, End: 8},   // fully before
+		Segment{Core: 4, Start: 15, End: -1}, // still open
+		Segment{Core: 5, Start: 4, End: -1},  // open, starts before the window
+	)
+	got := tr.Window(8, 18)
+	want := []Segment{
+		{Core: 0, Start: 8, End: 10},
+		{Core: 0, Start: 10, End: 18},
+		{Core: 1, Start: 12, End: 14},
+		{Core: 4, Start: 15, End: 18},
+		{Core: 5, Start: 8, End: 18},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Window returned %d segments, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Core != w.Core || got[i].Start != w.Start || got[i].End != w.End {
+			t.Errorf("segment %d = {core %d, %v..%v}, want {core %d, %v..%v}",
+				i, got[i].Core, got[i].Start, got[i].End, w.Core, w.Start, w.End)
+		}
+	}
+	// Clipping must not mutate the recorded segments.
+	if tr.Segments[0].End != 10 || tr.Segments[5].End != -1 {
+		t.Error("Window mutated the underlying trace")
+	}
+}
+
+func TestWindowDegenerate(t *testing.T) {
+	tr := forged(Segment{Core: 0, Start: 0, End: 10})
+	if got := tr.Window(5, 5); got != nil {
+		t.Errorf("zero-length window returned %+v, want nil", got)
+	}
+	if got := tr.Window(7, 3); got != nil {
+		t.Errorf("inverted window returned %+v, want nil", got)
+	}
+	// A zero-length segment clips away entirely.
+	tr = forged(Segment{Core: 0, Start: 4, End: 4})
+	if got := tr.Window(0, 10); got != nil {
+		t.Errorf("zero-length segment survived clipping: %+v", got)
+	}
+	// An open segment starting exactly at the right edge is excluded
+	// ([from, to) is half-open).
+	tr = forged(Segment{Core: 0, Start: 10, End: -1})
+	if got := tr.Window(0, 10); got != nil {
+		t.Errorf("segment at the window edge survived: %+v", got)
+	}
+	// Empty trace.
+	if got := NewTrace().Window(0, 10); got != nil {
+		t.Errorf("empty trace returned %+v, want nil", got)
+	}
+}
+
+func TestBusyTimeCountsClosedOnce(t *testing.T) {
+	th := &Thread{}
+	tr := NewTrace()
+	tr.onDispatch(0, th, 0)
+	tr.onDeschedule(0, 10)
+	tr.onDispatch(1, th, 20)
+	// The open segment is excluded until closed.
+	if got := tr.BusyTime(th); got != 10 {
+		t.Errorf("BusyTime with open segment = %v, want 10", got)
+	}
+	tr.CloseOpen(25)
+	if got := tr.BusyTime(th); got != 15 {
+		t.Errorf("BusyTime after CloseOpen = %v, want 15", got)
+	}
+	// CloseOpen is idempotent: a second call must not re-close (and
+	// thereby extend) already-closed segments.
+	tr.CloseOpen(simkit.Time(100))
+	if got := tr.BusyTime(th); got != 15 {
+		t.Errorf("BusyTime after second CloseOpen = %v, want 15 (double-counted?)", got)
+	}
+}

@@ -109,12 +109,24 @@ type Config struct {
 
 // Run executes one simulated JVM to completion.
 func Run(cfg Config) (*Result, error) {
+	spec, err := BuildRunSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return jvm.Run(spec)
+}
+
+// BuildRunSpec resolves a Config into the jvm.RunSpec that Run would
+// execute, so callers (e.g. the CLI) can attach observability hooks —
+// an event tracer, a metrics registry, a scheduling timeline — before
+// running.
+func BuildRunSpec(cfg Config) (jvm.RunSpec, error) {
 	p := cfg.Profile
 	if cfg.Benchmark != "" {
 		var err error
 		p, err = workload.ByName(cfg.Benchmark)
 		if err != nil {
-			return nil, err
+			return jvm.RunSpec{}, err
 		}
 	}
 	seed := cfg.Seed
@@ -142,12 +154,12 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.SMT {
 		topo = ostopo.PaperTestbedSMT()
 	}
-	return jvm.Run(jvm.RunSpec{
+	return jvm.RunSpec{
 		Config:    jcfg,
 		Topo:      topo,
 		Seed:      seed,
 		BusyLoops: cfg.BusyLoops,
-	})
+	}, nil
 }
 
 // Compare runs a configuration vanilla and with all optimizations, and

@@ -1,0 +1,186 @@
+package evtrace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is the unified metrics registry: the ad-hoc counters scattered
+// across the layers (jmutex.Stats, taskq.Stats, cfs.KernelStats, GCReport
+// totals) publish into one named-metric namespace, snapshotted once per
+// collection, so a run's counters are enumerable and machine-readable
+// through a single interface instead of five struct types.
+//
+// Like the Tracer, a Registry is single-threaded (one per simulation) and
+// every method is safe on a nil receiver, so publishing sites need no
+// enablement checks beyond the one nil guard.
+
+// Counter is a monotonic (or externally-maintained absolute) int64 metric.
+type Counter struct{ v int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v += d
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Set overwrites the counter with an absolute value — used when a layer
+// already maintains its own cumulative struct and republishes it.
+func (c *Counter) Set(v int64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous float64 metric.
+type Gauge struct{ v float64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Metric is one named value inside a snapshot.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is the registry's full state at one instant (sorted by name).
+type Snapshot struct {
+	Label  string   `json:"label"` // e.g. "gc-7"
+	AtNs   int64    `json:"at_ns"` // virtual time of the snapshot
+	Values []Metric `json:"values"`
+}
+
+// Registry holds named counters and gauges. Names are conventionally
+// dotted paths ("jmutex.fast_acquires", "taskq.steal_failures",
+// "gc.copied_bytes").
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	history  []Snapshot
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+// Returns nil on a nil registry; Counter/Gauge methods on nil are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge with the given name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snap captures the registry's current state, appends it to the history,
+// and returns it. Safe on nil (returns a zero Snapshot).
+func (r *Registry) Snap(label string, atNs int64) Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{Label: label, AtNs: atNs, Values: r.values()}
+	r.history = append(r.history, s)
+	return s
+}
+
+// values returns every metric sorted by name.
+func (r *Registry) values() []Metric {
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Value: float64(c.v)})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Value: g.v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Current returns the present metric values without recording a snapshot.
+func (r *Registry) Current() []Metric {
+	if r == nil {
+		return nil
+	}
+	return r.values()
+}
+
+// History returns the per-collection snapshots in order.
+func (r *Registry) History() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	return r.history
+}
+
+// Render renders the current values as an aligned two-column listing.
+func (r *Registry) Render(w io.Writer) {
+	if r == nil {
+		return
+	}
+	vals := r.values()
+	width := 0
+	for _, m := range vals {
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	for _, m := range vals {
+		if m.Value == float64(int64(m.Value)) {
+			fmt.Fprintf(w, "%-*s %d\n", width, m.Name, int64(m.Value))
+		} else {
+			fmt.Fprintf(w, "%-*s %.3f\n", width, m.Name, m.Value)
+		}
+	}
+}

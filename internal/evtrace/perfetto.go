@@ -1,0 +1,167 @@
+package evtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Track layout of the exported trace. Simulated cores map to one track
+// each under the "cores" process, so scheduling phenomena — GC threads
+// stacked on one core, serial monitor handoff, lock ownership bouncing —
+// are visible as gaps and pile-ups in the Perfetto UI. OS threads
+// (jmutex/simkit instants) and GC workers (taskq/pscavenge) get their own
+// processes so their event streams do not clutter the core tracks.
+const (
+	pidCores    = 1
+	pidThreads  = 2
+	pidWorkers  = 3
+	tidGCPhases = 1000 // the pidWorkers track holding GC/phase spans
+	tidKernel   = 1001 // the pidThreads track holding simkit kernel events
+)
+
+// traceEvent is one Chrome trace-event JSON object (the subset Perfetto
+// loads: metadata, complete "X" spans, and thread-scoped "i" instants).
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+func micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WritePerfetto exports the tracer's retained events as Chrome/Perfetto
+// trace-event JSON, loadable in https://ui.perfetto.dev. The output is
+// deterministic for a deterministic simulation: events are ordered by
+// emission and metadata by track id.
+func WritePerfetto(w io.Writer, t *Tracer) error {
+	if t == nil {
+		return fmt.Errorf("evtrace: WritePerfetto on nil tracer")
+	}
+	events := t.Events()
+	out := traceFile{DisplayTimeUnit: "ms"}
+
+	// Process/track metadata first. Track names for cores and threads are
+	// discovered from the events and the thread registry.
+	coreSeen := map[int32]bool{}
+	workerSeen := map[int32]bool{}
+	for _, e := range events {
+		if e.Core >= 0 {
+			coreSeen[e.Core] = true
+		}
+		if (e.Kind.Layer() == LayerTaskq || e.Kind == KGCTask) && e.TID >= 0 {
+			workerSeen[e.TID] = true
+		}
+	}
+	meta := func(pid, tid int, key, name string) {
+		out.TraceEvents = append(out.TraceEvents, traceEvent{
+			Name: key, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(pidCores, 0, "process_name", "cores")
+	meta(pidThreads, 0, "process_name", "threads")
+	meta(pidWorkers, 0, "process_name", "gc-workers")
+	for _, c := range sortedKeys(coreSeen) {
+		meta(pidCores, int(c), "thread_name", fmt.Sprintf("cpu%02d", c))
+	}
+	for _, tid := range sortedKeys(t.names) {
+		meta(pidThreads, int(tid), "thread_name", t.names[tid])
+	}
+	for _, wkr := range sortedKeys(workerSeen) {
+		meta(pidWorkers, int(wkr), "thread_name", fmt.Sprintf("worker#%d", wkr))
+	}
+	meta(pidWorkers, tidGCPhases, "thread_name", "GC phases")
+	meta(pidThreads, tidKernel, "thread_name", "simkit")
+
+	for _, e := range events {
+		out.TraceEvents = append(out.TraceEvents, convert(e))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// convert maps one bus event to its trace-event representation.
+func convert(e Event) traceEvent {
+	info := kindMeta[e.Kind]
+	te := traceEvent{
+		Cat: info.layer.String(),
+		Ph:  "i",
+		Ts:  micros(e.At),
+	}
+	if info.span {
+		te.Ph = "X"
+		d := micros(e.Dur)
+		te.Dur = &d
+	} else {
+		te.Scope = "t"
+	}
+
+	// Track assignment.
+	switch {
+	case e.Kind == KGCSpan || e.Kind == KGCPhase:
+		te.Pid, te.Tid = pidWorkers, tidGCPhases
+	case info.layer == LayerTaskq || e.Kind == KGCTask:
+		te.Pid, te.Tid = pidWorkers, int(e.TID)
+	case e.Core >= 0:
+		te.Pid, te.Tid = pidCores, int(e.Core)
+	case info.layer == LayerSimkit:
+		te.Pid, te.Tid = pidThreads, tidKernel
+	default:
+		te.Pid, te.Tid = pidThreads, int(e.TID)
+	}
+
+	// Display name: prefer the recorded name (thread, lock, or task kind)
+	// qualified by the kind for non-span events.
+	switch {
+	case e.Kind == KDispatch || e.Kind == KGCTask || e.Kind == KGCSpan || e.Kind == KGCPhase:
+		te.Name = e.Name
+		if te.Name == "" {
+			te.Name = info.name
+		}
+	case e.Name != "":
+		te.Name = info.name + ":" + e.Name
+	default:
+		te.Name = info.name
+	}
+
+	args := map[string]any{}
+	if e.TID >= 0 {
+		args["tid"] = e.TID
+	}
+	if e.Core >= 0 {
+		args["core"] = e.Core
+	}
+	if e.Arg1 != 0 {
+		args["arg1"] = e.Arg1
+	}
+	if e.Arg2 != 0 {
+		args["arg2"] = e.Arg2
+	}
+	if len(args) > 0 {
+		te.Args = args
+	}
+	return te
+}
+
+// sortedKeys returns the keys of a map[int32]V in ascending order.
+func sortedKeys[V any](m map[int32]V) []int32 {
+	keys := make([]int32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

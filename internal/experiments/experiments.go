@@ -15,7 +15,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/evtrace"
 	"repro/internal/jvm"
 	"repro/internal/runner"
 	"repro/internal/simkit"
@@ -38,6 +40,26 @@ type Options struct {
 	// Jobs. The CLI shares one pool across experiments so per-experiment
 	// speedup can be reported from its aggregate stats.
 	Pool *runner.Pool
+	// TraceDir, when non-empty, writes one Perfetto trace-event JSON file
+	// per simulation cell (cell-NNN.json) into this directory (which must
+	// exist). Cells fanned out through runCells are numbered in submission
+	// order, so their indexes are identical for any Jobs value; tracing
+	// only records and never perturbs the rendered tables.
+	TraceDir string
+	// Timeline, when non-nil, additionally records the scheduling trace of
+	// the requested cell and publishes its result for timeline rendering.
+	Timeline *TimelineCapture
+
+	// cellSeq numbers the experiment's cells; created by norm().
+	cellSeq *int64
+}
+
+// TimelineCapture selects one simulation cell (by submission index) whose
+// cfs scheduling trace should be kept. After the experiment returns,
+// Result holds that cell's run for schedtrace rendering.
+type TimelineCapture struct {
+	Cell   int
+	Result *jvm.Result
 }
 
 func (o Options) norm() Options {
@@ -50,7 +72,21 @@ func (o Options) norm() Options {
 	if o.Pool == nil {
 		o.Pool = runner.New(o.Jobs)
 	}
+	if o.cellSeq == nil {
+		o.cellSeq = new(int64)
+	}
 	return o
+}
+
+// nextCells reserves n consecutive cell indexes and returns the first.
+// Batch reservation happens on the submitting goroutine, so runCells
+// numbering is deterministic; stray run() calls from inside pool workers
+// still get unique (atomically allocated) indexes.
+func (o Options) nextCells(n int) int {
+	if o.cellSeq == nil {
+		return -1
+	}
+	return int(atomic.AddInt64(o.cellSeq, int64(n))) - n
 }
 
 // scaled returns the profile with its work divided by the scale factor.
@@ -178,12 +214,71 @@ func idList() string {
 // run executes one JVM configuration; failures panic (experiments are
 // expected to be well-formed; the CLI recovers).
 func run(opt Options, cfg jvm.Config, seedOff int64, busy int) *jvm.Result {
+	return runIndexed(opt, opt.nextCells(1), cfg, seedOff, busy)
+}
+
+// runIndexed executes cell idx of the experiment, attaching the
+// observability hooks the options ask for: a per-cell event tracer
+// (exported as TraceDir/cell-NNN.json) and the one-cell scheduling trace
+// behind Timeline. Both are record-only, so results are unchanged.
+func runIndexed(opt Options, idx int, cfg jvm.Config, seedOff int64, busy int) *jvm.Result {
 	cfg.Seed = opt.Seed + seedOff
-	r, err := jvm.Run(jvm.RunSpec{Config: cfg, Seed: opt.Seed + seedOff, BusyLoops: busy})
+	spec := jvm.RunSpec{Config: cfg, Seed: opt.Seed + seedOff, BusyLoops: busy}
+	return runSpec(opt, idx, spec)
+}
+
+// runSpec executes one prepared RunSpec as cell idx with the options'
+// observability hooks attached.
+func runSpec(opt Options, idx int, spec jvm.RunSpec) *jvm.Result {
+	var tr *evtrace.Tracer
+	if opt.TraceDir != "" && idx >= 0 {
+		tr = evtrace.New(evtrace.DefaultSinkCap)
+		spec.EvTracer = tr
+	}
+	capture := opt.Timeline != nil && idx == opt.Timeline.Cell
+	if capture {
+		spec.Trace = true
+	}
+	r, err := jvm.Run(spec)
 	if err != nil {
 		panic(fmt.Sprintf("experiment run failed: %v", err))
 	}
+	if tr != nil {
+		if err := writeCellTrace(opt.TraceDir, idx, tr); err != nil {
+			panic(fmt.Sprintf("experiment trace export failed: %v", err))
+		}
+	}
+	if capture {
+		opt.Timeline.Result = r
+	}
 	return r
+}
+
+// runSpecCells fans prepared RunSpecs out on the pool with the same
+// per-cell numbering and tracing as runCells (for figures that build
+// their specs directly, e.g. custom topologies).
+func runSpecCells(opt Options, specs []jvm.RunSpec) []*jvm.Result {
+	base := opt.nextCells(len(specs))
+	return runner.Map(opt.Pool, len(specs), func(i int) *jvm.Result {
+		idx := -1
+		if base >= 0 {
+			idx = base + i
+		}
+		return runSpec(opt, idx, specs[i])
+	})
+}
+
+// writeCellTrace exports one cell's events as TraceDir/cell-NNN.json.
+func writeCellTrace(dir string, idx int, tr *evtrace.Tracer) error {
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("cell-%03d.json", idx)))
+	if err != nil {
+		return err
+	}
+	err = evtrace.WritePerfetto(f, tr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // cell is one simulation of an experiment: a configuration, its seed
@@ -201,8 +296,13 @@ type cell struct {
 // here, then assemble tables from the index-ordered results; the rendered
 // output is byte-identical to a serial run.
 func runCells(opt Options, cells []cell) []*jvm.Result {
+	base := opt.nextCells(len(cells))
 	return runner.Map(opt.Pool, len(cells), func(i int) *jvm.Result {
-		return run(opt, cells[i].cfg, cells[i].off, cells[i].busy)
+		idx := -1
+		if base >= 0 {
+			idx = base + i
+		}
+		return runIndexed(opt, idx, cells[i].cfg, cells[i].off, cells[i].busy)
 	})
 }
 

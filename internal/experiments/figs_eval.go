@@ -425,13 +425,7 @@ func Fig16(opt Options) *Result {
 			})
 		}
 	}
-	rs := runner.Map(opt.Pool, len(specs), func(i int) *jvm.Result {
-		r, err := jvm.Run(specs[i])
-		if err != nil {
-			panic(err)
-		}
-		return r
-	})
+	rs := runSpecCells(opt, specs)
 	for bi, p := range benches {
 		var vals []float64
 		for ci := 0; ci < 4; ci++ {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -79,6 +80,62 @@ func TestParallelRenderIdenticalFullScale4(t *testing.T) {
 		if got != string(golden) {
 			t.Fatalf("scale-4 render with jobs=%d differs from golden fixture:\n%s",
 				jobs, firstDiff(string(golden), got))
+		}
+	}
+}
+
+// TestGoldenScale4TracingEnabled asserts the observability contract: the
+// full scale-4 evaluation with per-cell event tracing enabled still
+// renders byte-identically to the committed golden fixture — tracing only
+// records, it never perturbs scheduling, RNG draws, or event order. It
+// also spot-checks that the per-cell Perfetto exports were written and
+// parse. Skipped under -short and -race like the plain golden check.
+func TestGoldenScale4TracingEnabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite tracing determinism check skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full-suite tracing determinism check skipped under -race")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_scale4_seed42.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	for _, e := range All() {
+		opt := Options{Seed: 42, Scale: 4, Jobs: 4, TraceDir: filepath.Join(dir, e.ID)}
+		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(opt).Render(&b)
+	}
+	if b.String() != string(golden) {
+		t.Fatalf("scale-4 render with tracing enabled differs from golden fixture:\n%s",
+			firstDiff(string(golden), b.String()))
+	}
+	// Every experiment must have produced at least one cell trace, and the
+	// exports must be valid Perfetto trace-event JSON.
+	for _, e := range All() {
+		cells, err := filepath.Glob(filepath.Join(dir, e.ID, "cell-*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) == 0 {
+			t.Errorf("%s wrote no cell traces", e.ID)
+			continue
+		}
+		data, err := os.ReadFile(cells[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Errorf("%s: %s is not valid trace JSON: %v", e.ID, cells[0], err)
+		} else if len(doc.TraceEvents) == 0 {
+			t.Errorf("%s: %s holds no events", e.ID, cells[0])
 		}
 	}
 }

@@ -15,7 +15,10 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/evtrace"
+	"repro/internal/jmutex"
 	"repro/internal/pscavenge"
+	"repro/internal/taskq"
 )
 
 // kb renders model bytes as HotSpot-style K figures.
@@ -119,4 +122,66 @@ func WriteJSON(w io.Writer, reports []*pscavenge.GCReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(entries)
+}
+
+// MonitorExport is the JSON shape of the GCTaskManager monitor counters.
+type MonitorExport struct {
+	FastAcquires         int `json:"fast_acquires"`
+	SlowAcquires         int `json:"slow_acquires"`
+	OwnerReacquires      int `json:"owner_reacquires"`
+	Bypasses             int `json:"bypasses"`
+	Handoffs             int `json:"handoffs"`
+	Notifies             int `json:"notifies"`
+	ParkEvents           int `json:"park_events"`
+	MaxConcurrentSeekers int `json:"max_concurrent_seekers"`
+}
+
+// StealExport is the JSON shape of the run's work-stealing counters.
+type StealExport struct {
+	Attempts    int64   `json:"attempts"`
+	Failures    int64   `json:"failures"`
+	FailureRate float64 `json:"failure_rate"`
+	PerThief    []int64 `json:"attempts_per_thief,omitempty"`
+}
+
+// RunExport is the full-run JSON document: the per-collection log plus the
+// cross-layer counters (monitor, stealing, unified metrics).
+type RunExport struct {
+	Collections []Entry          `json:"collections"`
+	Monitor     MonitorExport    `json:"monitor"`
+	Steal       StealExport      `json:"steal"`
+	Metrics     []evtrace.Metric `json:"metrics,omitempty"`
+}
+
+// WriteRunJSON exports the whole run — collections, monitor and steal
+// statistics, and (when a registry was attached) the unified metrics.
+func WriteRunJSON(w io.Writer, reports []*pscavenge.GCReport, mon jmutex.Stats, steal *taskq.Stats, metrics []evtrace.Metric) error {
+	out := RunExport{
+		Collections: make([]Entry, len(reports)),
+		Monitor: MonitorExport{
+			FastAcquires:         mon.FastAcquires,
+			SlowAcquires:         mon.SlowAcquires,
+			OwnerReacquires:      mon.OwnerReacquires,
+			Bypasses:             mon.Bypasses,
+			Handoffs:             mon.Handoffs,
+			Notifies:             mon.Notifies,
+			ParkEvents:           mon.ParkEvents,
+			MaxConcurrentSeekers: mon.MaxConcurrentSeekers,
+		},
+		Metrics: metrics,
+	}
+	for i, rep := range reports {
+		out.Collections[i] = ToEntry(rep)
+	}
+	if steal != nil {
+		out.Steal = StealExport{
+			Attempts:    steal.TotalAttempts(),
+			Failures:    steal.TotalFailures(),
+			FailureRate: steal.FailureRate(),
+			PerThief:    steal.Attempts,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

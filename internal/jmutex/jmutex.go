@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfs"
+	"repro/internal/evtrace"
 	"repro/internal/simkit"
 )
 
@@ -102,6 +103,8 @@ type Monitor struct {
 	// RecordLog enables the acquisition log (Log) for §3.2-style traces.
 	RecordLog bool
 	Log       []AcqEvent
+
+	etr *evtrace.Tracer // captured from the kernel at construction
 }
 
 // New creates a monitor with the given policy on kernel k.
@@ -112,7 +115,17 @@ func New(k *cfs.Kernel, name string, policy Policy) *Monitor {
 		policy:     policy,
 		casCost:    50 * simkit.Nanosecond,
 		unlockCost: 100 * simkit.Nanosecond,
+		etr:        k.EvTracer(),
 	}
+}
+
+// emit publishes one lock event on the bus (no-op when tracing is off).
+// m.Name is a preexisting string, so this path never allocates.
+func (m *Monitor) emit(kind evtrace.Kind, t *cfs.Thread, arg1, arg2 int64) {
+	m.etr.Emit(evtrace.Event{
+		Kind: kind, At: int64(m.k.Sim.Now()), Core: -1,
+		TID: int32(t.ID), Name: m.Name, Arg1: arg1, Arg2: arg2,
+	})
 }
 
 // Policy returns the monitor's acquisition policy.
@@ -172,11 +185,19 @@ func (m *Monitor) Lock(e *cfs.Env) {
 	case PolicyHotSpot, PolicyWakeAll:
 		if m.owner == nil {
 			m.Stats.FastAcquires++
+			reacq := int64(0)
 			if m.lastOwner == t {
 				m.Stats.OwnerReacquires++
+				reacq = 1
 			}
-			if m.QueuedWaiters() > 0 {
+			if q := m.QueuedWaiters(); q > 0 {
 				m.Stats.Bypasses++
+				if m.etr != nil {
+					m.emit(evtrace.KLockBypass, t, int64(q), reacq)
+				}
+			}
+			if m.etr != nil {
+				m.emit(evtrace.KLockFast, t, int64(m.QueuedWaiters()), reacq)
 			}
 			m.logAcq(e, true)
 			m.owner = t
@@ -186,6 +207,9 @@ func (m *Monitor) Lock(e *cfs.Env) {
 	case PolicyNoFastPath:
 		if m.owner == nil && m.QueuedWaiters() == 0 {
 			m.Stats.FastAcquires++
+			if m.etr != nil {
+				m.emit(evtrace.KLockFast, t, 0, reacquireArg(m, t))
+			}
 			m.logAcq(e, true)
 			m.owner = t
 			return
@@ -194,6 +218,9 @@ func (m *Monitor) Lock(e *cfs.Env) {
 	case PolicyFairFIFO:
 		if m.owner == nil && m.QueuedWaiters() == 0 {
 			m.Stats.FastAcquires++
+			if m.etr != nil {
+				m.emit(evtrace.KLockFast, t, 0, reacquireArg(m, t))
+			}
 			m.logAcq(e, true)
 			m.owner = t
 			return
@@ -214,6 +241,9 @@ func (m *Monitor) competitiveSlow(e *cfs.Env) {
 				m.Stats.Handoffs++
 			}
 			m.removeQueued(t)
+			if m.etr != nil {
+				m.emit(evtrace.KLockHandoff, t, int64(m.QueuedWaiters()), 0)
+			}
 			m.logAcq(e, false)
 			m.owner = t
 			m.Stats.SlowAcquires++
@@ -223,6 +253,9 @@ func (m *Monitor) competitiveSlow(e *cfs.Env) {
 			m.cxq = append([]*cfs.Thread{t}, m.cxq...) // push onto cxq head
 		}
 		m.Stats.ParkEvents++
+		if m.etr != nil {
+			m.emit(evtrace.KLockBlock, t, int64(m.QueuedWaiters()), 0)
+		}
 		m.seek(-1)
 		e.Park()
 		m.seek(1)
@@ -236,10 +269,16 @@ func (m *Monitor) fifoSlow(e *cfs.Env) {
 	m.cxq = append([]*cfs.Thread{t}, m.cxq...)
 	for m.owner != t {
 		m.Stats.ParkEvents++
+		if m.etr != nil {
+			m.emit(evtrace.KLockBlock, t, int64(m.QueuedWaiters()), 0)
+		}
 		e.Park()
 	}
 	m.Stats.SlowAcquires++
 	m.Stats.Handoffs++
+	if m.etr != nil {
+		m.emit(evtrace.KLockHandoff, t, int64(m.QueuedWaiters()), 0)
+	}
 }
 
 // Unlock releases the monitor and wakes successor(s) per policy.
@@ -255,10 +294,16 @@ func (m *Monitor) Unlock(e *cfs.Env) {
 func (m *Monitor) unlockFrom(t *cfs.Thread) {
 	m.owner = nil
 	m.lastOwner = t
+	if m.etr != nil {
+		m.emit(evtrace.KLockRelease, t, int64(m.QueuedWaiters()), 0)
+	}
 	switch m.policy {
 	case PolicyFairFIFO:
 		if next := m.popOldest(); next != nil {
 			m.owner = next // direct handoff
+			if m.etr != nil {
+				m.emit(evtrace.KLockUnblock, next, int64(t.ID), 0)
+			}
 			m.k.Unpark(next)
 		}
 	case PolicyWakeAll:
@@ -269,6 +314,9 @@ func (m *Monitor) unlockFrom(t *cfs.Thread) {
 			wake = append([]*cfs.Thread{m.onDeck}, wake...)
 		}
 		for _, w := range wake {
+			if m.etr != nil {
+				m.emit(evtrace.KLockUnblock, w, int64(t.ID), 0)
+			}
 			m.k.Unpark(w)
 		}
 	default: // PolicyHotSpot, PolicyNoFastPath
@@ -288,6 +336,9 @@ func (m *Monitor) unlockFrom(t *cfs.Thread) {
 		if m.onDeck != nil {
 			// Competitive handoff: wake the heir; it must win the CAS
 			// by itself.
+			if m.etr != nil {
+				m.emit(evtrace.KLockUnblock, m.onDeck, int64(t.ID), 0)
+			}
 			m.k.Unpark(m.onDeck)
 		}
 	}
@@ -307,15 +358,24 @@ func (m *Monitor) Wait(e *cfs.Env) {
 	if m.policy == PolicyFairFIFO {
 		for m.owner != t {
 			m.Stats.ParkEvents++
+			if m.etr != nil {
+				m.emit(evtrace.KLockBlock, t, int64(m.QueuedWaiters()), 1)
+			}
 			e.Park()
 		}
 		m.Stats.SlowAcquires++
+		if m.etr != nil {
+			m.emit(evtrace.KLockHandoff, t, int64(m.QueuedWaiters()), 1)
+		}
 		return
 	}
 	// HotSpot: a notify moves us to cxq without waking; we are unparked
 	// only when an unlocker selects us as OnDeck (or wake-all fires).
 	for {
 		m.Stats.ParkEvents++
+		if m.etr != nil {
+			m.emit(evtrace.KLockBlock, t, int64(m.QueuedWaiters()), 1)
+		}
 		e.Park()
 		if m.inWaitSet(t) {
 			continue // spurious permit while still waiting
@@ -329,6 +389,9 @@ func (m *Monitor) Wait(e *cfs.Env) {
 			m.removeQueued(t)
 			m.owner = t
 			m.Stats.SlowAcquires++
+			if m.etr != nil {
+				m.emit(evtrace.KLockHandoff, t, int64(m.QueuedWaiters()), 1)
+			}
 			return
 		}
 		if m.onDeck != t && !m.isQueued(t) {
@@ -427,6 +490,14 @@ func (m *Monitor) popOldest() *cfs.Thread {
 		return w
 	}
 	return nil
+}
+
+// reacquireArg is 1 when t was also the previous owner (for trace args).
+func reacquireArg(m *Monitor, t *cfs.Thread) int64 {
+	if m.lastOwner == t {
+		return 1
+	}
+	return 0
 }
 
 func removeFrom(q []*cfs.Thread, t *cfs.Thread) []*cfs.Thread {

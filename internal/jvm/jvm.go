@@ -236,6 +236,7 @@ func (m *Machine) AddJVM(cfg Config) (*JVM, error) {
 		RecordLockLog:  cfg.RecordLockLog,
 		OnWorkerStart:  j.Bal.WorkerStart,
 		OnGCWake:       j.Bal.GCWake,
+		Metrics:        m.Metrics,
 	}
 	if cfg.NUMARemoteFactor > 1 {
 		opt.NUMA = &pscavenge.NUMAModel{Topo: m.K.Topo, RemoteFactor: cfg.NUMARemoteFactor}

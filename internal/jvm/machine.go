@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfs"
+	"repro/internal/evtrace"
 	"repro/internal/ostopo"
 	"repro/internal/simkit"
 )
@@ -20,8 +21,20 @@ type Machine struct {
 	Sim *simkit.Sim
 	K   *cfs.Kernel
 
+	// Metrics, when set before AddJVM, is handed to every JVM's collector
+	// as the unified metrics registry.
+	Metrics *evtrace.Registry
+
 	jvms []*JVM
 	busy []*cfs.Thread
+}
+
+// SetEvTracer installs the structured event-bus tracer on both the
+// simulation kernel and the scheduler. Call before AddBusyLoops/AddJVM so
+// spawned threads register their names with the trace.
+func (m *Machine) SetEvTracer(t *evtrace.Tracer) {
+	m.Sim.SetTracer(t)
+	m.K.SetEvTracer(t)
 }
 
 // NewMachine creates a machine. params may be nil for defaults.

@@ -2,6 +2,7 @@ package jvm
 
 import (
 	"repro/internal/cfs"
+	"repro/internal/evtrace"
 	"repro/internal/ostopo"
 	"repro/internal/simkit"
 )
@@ -22,6 +23,13 @@ type RunSpec struct {
 	MaxSim simkit.Time
 	// Trace records a scheduling timeline (cfs.Trace) into Result.Trace.
 	Trace bool
+	// EvTracer, when non-nil, receives structured events from every layer
+	// (simkit, cfs, jmutex, taskq, pscavenge) for Perfetto export and lock
+	// profiling. Tracing never perturbs the simulation.
+	EvTracer *evtrace.Tracer
+	// Metrics, when non-nil, is the unified counter registry, snapshotted
+	// after each collection.
+	Metrics *evtrace.Registry
 }
 
 // Run executes a single-JVM simulation to completion and returns its
@@ -38,6 +46,10 @@ func Run(spec RunSpec) (*Result, error) {
 	}
 	m := NewMachine(spec.Seed, topo, spec.Sched)
 	defer m.Close()
+	if spec.EvTracer != nil {
+		m.SetEvTracer(spec.EvTracer)
+	}
+	m.Metrics = spec.Metrics
 	var tr *cfs.Trace
 	if spec.Trace {
 		tr = cfs.NewTrace()

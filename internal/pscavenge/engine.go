@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cfs"
+	"repro/internal/evtrace"
 	"repro/internal/heap"
 	"repro/internal/jmutex"
 	"repro/internal/ostopo"
@@ -53,6 +54,9 @@ type Options struct {
 	NUMA *NUMAModel
 	// Costs overrides the calibration (nil = DefaultCosts).
 	Costs *Costs
+	// Metrics, when non-nil, receives the unified counter namespace
+	// (jmutex.*, taskq.*, cfs.*, gc.*) snapshotted after every collection.
+	Metrics *evtrace.Registry
 }
 
 // Engine is a Parallel Scavenge collector bound to one heap and kernel.
@@ -71,6 +75,7 @@ type Engine struct {
 	gcSeq     int
 	seenEpoch []int
 	bar       *barrier
+	etr       *evtrace.Tracer // captured from the kernel at construction
 
 	initialEden int64
 
@@ -105,7 +110,9 @@ func New(k *cfs.Kernel, h *heap.Heap, opt Options) *Engine {
 		n = DefaultGCThreads(k.NumCPUs())
 	}
 	g.queues = make([]taskq.Deque[heap.ObjID], n)
-	g.policy = opt.StealKind.Make(n, opt.NodeOf)
+	g.etr = k.EvTracer()
+	g.policy = taskq.Traced(opt.StealKind.Make(n, opt.NodeOf), g.etr,
+		func() int64 { return int64(k.Sim.Now()) })
 	g.Steal = taskq.NewStats(n)
 	g.seenEpoch = make([]int, n)
 	for i := range g.seenEpoch {
@@ -170,6 +177,13 @@ func (g *Engine) execute(e *cfs.Env, w int, t *GCTask) {
 		e.Compute(t.Work)
 		t.rep.RootTaskTime += e.Now() - start
 		g.bar.taskDone()
+	}
+	if g.etr != nil {
+		// One span per executed task on the worker's track; TaskKind
+		// strings are static, so this never allocates.
+		g.etr.Emit(evtrace.Event{Kind: evtrace.KGCTask,
+			At: int64(start), Dur: int64(e.Now() - start),
+			Core: int32(e.Core()), TID: int32(w), Name: t.Kind.String()})
 	}
 }
 
@@ -404,8 +418,62 @@ func (g *Engine) RunMinorGC(e *cfs.Env, roots RootSet) *GCReport {
 	rep.After = g.snapshot()
 	rep.End = e.Now()
 	g.Reports = append(g.Reports, rep)
+	g.emitPhases(rep, fs)
+	g.publishMetrics(rep)
 	g.verify()
 	return rep
+}
+
+// emitPhases publishes the collection and its three phases as nested spans
+// on the GC-phases track (§2.2's decomposition: initialization, parallel,
+// final synchronization).
+func (g *Engine) emitPhases(rep *GCReport, fsStart simkit.Time) {
+	if g.etr == nil {
+		return
+	}
+	parStart := rep.Start + rep.InitTime
+	g.etr.Emit(evtrace.Event{Kind: evtrace.KGCSpan, At: int64(rep.Start),
+		Dur: int64(rep.End - rep.Start), Core: -1, TID: -1,
+		Name: rep.Kind.String(), Arg1: int64(rep.Seq)})
+	g.etr.Emit(evtrace.Event{Kind: evtrace.KGCPhase, At: int64(rep.Start),
+		Dur: int64(rep.InitTime), Core: -1, TID: -1, Name: "init", Arg1: int64(rep.Seq)})
+	g.etr.Emit(evtrace.Event{Kind: evtrace.KGCPhase, At: int64(parStart),
+		Dur: int64(fsStart - parStart), Core: -1, TID: -1, Name: "parallel", Arg1: int64(rep.Seq)})
+	g.etr.Emit(evtrace.Event{Kind: evtrace.KGCPhase, At: int64(fsStart),
+		Dur: int64(rep.End - fsStart), Core: -1, TID: -1, Name: "final-sync", Arg1: int64(rep.Seq)})
+}
+
+// publishMetrics republishes the layers' counters into the unified
+// registry and snapshots it, once per collection.
+func (g *Engine) publishMetrics(rep *GCReport) {
+	reg := g.Opt.Metrics
+	if reg == nil {
+		return
+	}
+	ms := g.mgr.mon.Stats
+	reg.Counter("jmutex.fast_acquires").Set(int64(ms.FastAcquires))
+	reg.Counter("jmutex.slow_acquires").Set(int64(ms.SlowAcquires))
+	reg.Counter("jmutex.owner_reacquires").Set(int64(ms.OwnerReacquires))
+	reg.Counter("jmutex.bypasses").Set(int64(ms.Bypasses))
+	reg.Counter("jmutex.handoffs").Set(int64(ms.Handoffs))
+	reg.Counter("jmutex.park_events").Set(int64(ms.ParkEvents))
+	reg.Counter("jmutex.max_concurrent_seekers").Set(int64(ms.MaxConcurrentSeekers))
+	reg.Counter("taskq.steal_attempts").Set(g.Steal.TotalAttempts())
+	reg.Counter("taskq.steal_failures").Set(g.Steal.TotalFailures())
+	reg.Gauge("taskq.steal_failure_rate").Set(g.Steal.FailureRate())
+	ks := g.K.Stats
+	reg.Counter("cfs.preemptions").Set(int64(ks.Preemptions))
+	reg.Counter("cfs.wake_preemptions").Set(int64(ks.WakePreemptions))
+	reg.Counter("cfs.newidle_pulls").Set(int64(ks.NewIdlePulls))
+	reg.Counter("cfs.periodic_pulls").Set(int64(ks.PeriodicPulls))
+	reg.Counter("cfs.context_switches").Set(int64(ks.ContextSwitches))
+	reg.Counter("gc.collections").Set(int64(len(g.Reports)))
+	reg.Counter("gc.copied_objects").Add(rep.CopiedObjects)
+	reg.Counter("gc.copied_bytes").Add(rep.CopiedBytes)
+	reg.Counter("gc.promoted_objects").Add(rep.PromotedObjects)
+	reg.Counter("gc.freed_bytes").Add(rep.FreedBytes)
+	reg.Gauge("gc.last_pause_ms").Set((rep.End - rep.Start).Millis())
+	reg.Snap(fmt.Sprintf("gc-%d", rep.Seq), int64(rep.End))
 }
 
 // verify enforces Options.VerifyHeap.
@@ -510,6 +578,8 @@ func (g *Engine) RunMajorGC(e *cfs.Env, roots RootSet) *GCReport {
 	rep.After = g.snapshot()
 	rep.End = e.Now()
 	g.Reports = append(g.Reports, rep)
+	g.emitPhases(rep, fs)
+	g.publishMetrics(rep)
 	g.verify()
 	return rep
 }

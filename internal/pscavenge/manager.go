@@ -2,6 +2,7 @@ package pscavenge
 
 import (
 	"repro/internal/cfs"
+	"repro/internal/evtrace"
 	"repro/internal/jmutex"
 )
 
@@ -39,6 +40,11 @@ func (m *manager) getTask(e *cfs.Env, w int) *GCTask {
 	task := m.dequeue(w)
 	e.Compute(m.g.Costs.TaskDequeue) // the critical section's work
 	m.mon.Unlock(e)
+	if m.g.etr != nil {
+		m.g.etr.Emit(evtrace.Event{Kind: evtrace.KGetTask, At: int64(e.Now()),
+			Core: int32(e.Core()), TID: int32(w), Name: task.Kind.String(),
+			Arg1: int64(task.Kind), Arg2: int64(len(m.queue))})
+	}
 	if task.rep != nil {
 		task.rep.recordDispatch(w, int(e.Core()), task.Kind)
 	}

@@ -2,6 +2,7 @@ package pscavenge
 
 import (
 	"repro/internal/cfs"
+	"repro/internal/evtrace"
 	"repro/internal/simkit"
 )
 
@@ -61,6 +62,11 @@ func (t *terminator) peek() bool {
 // (work reappeared). Time spent inside is the Fig. 6 "termination" share.
 func (t *terminator) offer(e *cfs.Env, w int) bool {
 	t.offered++
+	if t.g.etr != nil {
+		t.g.etr.Emit(evtrace.Event{Kind: evtrace.KTermOffer, At: int64(e.Now()),
+			Core: int32(e.Core()), TID: int32(w),
+			Arg1: int64(t.offered), Arg2: int64(t.total)})
+	}
 	if t.offered >= t.total {
 		t.complete()
 		return true
@@ -70,6 +76,15 @@ func (t *terminator) offer(e *cfs.Env, w int) bool {
 		if t.peek() {
 			t.offered--
 			return false
+		}
+		if t.g.etr != nil {
+			// Arg2 tells spinning (0) from sleeping (1) waits.
+			mode := int64(0)
+			if spins >= 4 {
+				mode = 1
+			}
+			t.g.etr.Emit(evtrace.Event{Kind: evtrace.KTermSpin, At: int64(e.Now()),
+				Core: int32(e.Core()), TID: int32(w), Arg1: int64(spins), Arg2: mode})
 		}
 		if spins < 4 {
 			e.Compute(t.g.Costs.TermSpin)

@@ -72,13 +72,7 @@ func Render(w io.Writer, tr *cfs.Trace, cores int, from, to simkit.Time, opt Opt
 			continue
 		}
 		cls := Classify(s.Thread.Name)
-		start, end := s.Start, s.End
-		if end < 0 || end > to {
-			end = to
-		}
-		if start < from {
-			start = from
-		}
+		start, end := s.Start, s.End // already clipped to [from, to) by Window
 		for t := start; t < end; {
 			bi := int((t - from) / bucket)
 			if bi >= width {

@@ -261,3 +261,54 @@ func TestKernelConservationProperty(t *testing.T) {
 		sim.Close()
 	}
 }
+
+func TestRenderDegenerateWidths(t *testing.T) {
+	sim, k, tr := tracedKernel(t, 1)
+	th := k.Spawn("GCTaskThread#0", 0, func(e *cfs.Env) { e.Compute(10) })
+	for th.State() != cfs.StateDone && sim.Step() {
+	}
+	tr.CloseOpen(sim.Now())
+
+	// Window shorter than the width: the bucket size clamps to 1 time
+	// unit, so only the first len(window) columns can be non-idle.
+	var b strings.Builder
+	Render(&b, tr, 1, 0, 5, Options{Width: 20})
+	out := b.String()
+	if !strings.Contains(out, "cpu00 |GGGGG") {
+		t.Errorf("sub-width window misrendered:\n%s", out)
+	}
+	if strings.Count(out, "G") != 5 {
+		t.Errorf("want exactly 5 busy columns for a 5-unit window:\n%s", out)
+	}
+
+	// Width 1: the whole window is a single bucket.
+	b.Reset()
+	Render(&b, tr, 1, 0, 10, Options{Width: 1})
+	if !strings.Contains(b.String(), "cpu00 |G|") {
+		t.Errorf("width-1 render wrong:\n%s", b.String())
+	}
+}
+
+func TestRenderSingleCoreAndEmptyTrace(t *testing.T) {
+	// A valid window over a trace with no segments renders all-idle rows
+	// rather than reporting an empty window.
+	var b strings.Builder
+	Render(&b, cfs.NewTrace(), 1, 0, 10*ms, Options{Width: 10})
+	out := b.String()
+	if !strings.Contains(out, "cpu00 |----------|") {
+		t.Errorf("empty trace should render an idle row:\n%s", out)
+	}
+	if strings.Contains(out, "cpu01") {
+		t.Errorf("single-core render produced extra rows:\n%s", out)
+	}
+	if strings.Contains(out, "legend:") {
+		t.Error("legend rendered without being requested")
+	}
+
+	// Inverted windows are reported, not rendered.
+	b.Reset()
+	Render(&b, cfs.NewTrace(), 1, 10, 0, Options{})
+	if !strings.Contains(b.String(), "empty trace window") {
+		t.Error("inverted window not reported")
+	}
+}

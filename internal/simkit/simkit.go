@@ -19,6 +19,8 @@ package simkit
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/evtrace"
 )
 
 // Time is a point in virtual time, in nanoseconds since simulation start.
@@ -90,6 +92,7 @@ type Sim struct {
 	fired   uint64
 	clamped uint64
 	coros   []stopper // registered coroutines, for cleanup
+	etr     *evtrace.Tracer
 }
 
 type stopper interface{ stop() }
@@ -117,6 +120,14 @@ func (s *Sim) Clamped() uint64 { return s.clamped }
 // Pending returns the number of scheduled, not-yet-fired events.
 func (s *Sim) Pending() int { return len(s.pq) }
 
+// SetTracer installs an event-bus tracer (nil disables tracing). Tracing
+// only records; it never perturbs the event order, clock, or RNG, so runs
+// are identical with tracing on or off.
+func (s *Sim) SetTracer(t *evtrace.Tracer) { s.etr = t }
+
+// Tracer returns the installed tracer, or nil when tracing is disabled.
+func (s *Sim) Tracer() *evtrace.Tracer { return s.etr }
+
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in the caller; it is clamped to "now" to keep the clock monotonic,
 // and counted in Clamped.
@@ -128,6 +139,9 @@ func (s *Sim) At(t Time, fn func()) Event {
 	s.seq++
 	slot := s.allocSlot(t, fn)
 	s.heapPush(heapEnt{at: t, seq: s.seq, slot: slot})
+	if s.etr != nil {
+		s.etr.Emit(evtrace.Event{Kind: evtrace.KEvSchedule, At: int64(s.now), Core: -1, TID: -1, Arg1: int64(t)})
+	}
 	return Event{s: s, gen: s.events[slot].gen, slot: slot}
 }
 
@@ -144,6 +158,9 @@ func (s *Sim) Cancel(e Event) {
 	if rec.gen != e.gen {
 		return // already fired or cancelled; the record may be reused
 	}
+	if s.etr != nil {
+		s.etr.Emit(evtrace.Event{Kind: evtrace.KEvCancel, At: int64(s.now), Core: -1, TID: -1, Arg1: int64(rec.at)})
+	}
 	s.heapRemove(int(rec.hidx))
 	s.freeSlot(e.slot)
 }
@@ -158,6 +175,9 @@ func (s *Sim) Step() bool {
 	s.freeSlot(ent.slot)
 	s.now = ent.at
 	s.fired++
+	if s.etr != nil {
+		s.etr.Emit(evtrace.Event{Kind: evtrace.KEvFire, At: int64(ent.at), Core: -1, TID: -1, Arg1: int64(ent.seq)})
+	}
 	fn()
 	return true
 }

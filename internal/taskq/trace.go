@@ -1,0 +1,32 @@
+package taskq
+
+import "repro/internal/evtrace"
+
+// tracedPolicy decorates a Policy so every steal attempt's outcome is
+// published on the event bus. It only observes RecordResult — victim
+// choice is delegated untouched — so traced runs make exactly the same
+// decisions (and RNG draws) as untraced ones.
+type tracedPolicy struct {
+	Policy
+	tr  *evtrace.Tracer
+	now func() int64 // virtual clock, in ns
+}
+
+// Traced wraps p with steal-event tracing. When tr is nil it returns p
+// unchanged, so the disabled path adds no indirection at all.
+func Traced(p Policy, tr *evtrace.Tracer, now func() int64) Policy {
+	if tr == nil {
+		return p
+	}
+	return &tracedPolicy{Policy: p, tr: tr, now: now}
+}
+
+func (t *tracedPolicy) RecordResult(self, victim int, success bool) {
+	kind := evtrace.KStealFail
+	if success {
+		kind = evtrace.KStealOK
+	}
+	t.tr.Emit(evtrace.Event{Kind: kind, At: t.now(), Core: -1,
+		TID: int32(self), Arg1: int64(victim)})
+	t.Policy.RecordResult(self, victim, success)
+}
