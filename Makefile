@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench check results \
+.PHONY: build test race vet fmt-check bench check check-invariants results \
 	bench-smoke bench-baseline bench-compare trace-smoke
 
 build:
@@ -27,7 +27,15 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-check: fmt-check vet race
+check: fmt-check vet race check-invariants
+
+# Correctness harness: race-test the checker package itself, then run a
+# 32-cell smoke slice of the seed-sweep property harness (a prefix of the
+# 256-cell sweep, so any failure reproduces with `simcheck -cells <i+1>`).
+check-invariants:
+	$(GO) vet ./internal/check/ ./cmd/simcheck/
+	$(GO) test -race ./internal/check/
+	$(GO) run ./cmd/simcheck -cells 32
 
 bench:
 	$(GO) test -bench=. -benchmem

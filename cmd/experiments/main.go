@@ -51,6 +51,7 @@ func realMain() error {
 
 		evtraceDir = flag.String("evtrace-dir", "", "write per-cell Perfetto traces into <dir>/<experiment>/cell-NNN.json")
 		timeline   = flag.Int("timeline", -1, "render a scheduling timeline for this cell index (single -run only)")
+		checkF     = flag.Bool("check", false, "attach the cross-layer invariant checker to every cell (exit 1 on violation)")
 	)
 	flag.Parse()
 
@@ -120,6 +121,9 @@ func realMain() error {
 		seed: *seed, scale: *scale, jobs: *jobs,
 		csvDir: *csv, evtraceDir: *evtraceDir, timeline: *timeline,
 	}
+	if *checkF {
+		ropt.check = &experiments.CheckCollector{}
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -148,7 +152,8 @@ type runOptions struct {
 	scale, jobs int
 	csvDir      string
 	evtraceDir  string
-	timeline    int // cell index to render, -1 = off
+	timeline    int                         // cell index to render, -1 = off
+	check       *experiments.CheckCollector // non-nil when -check is set
 }
 
 // errWriter remembers the first write error on the -o file.
@@ -167,7 +172,7 @@ func (e *errWriter) Write(p []byte) (int, error) {
 
 func runExperiments(w io.Writer, todo []experiments.Experiment, ro runOptions) error {
 	pool := runner.New(ro.jobs)
-	opt := experiments.Options{Seed: ro.seed, Scale: ro.scale, Jobs: ro.jobs, Pool: pool}
+	opt := experiments.Options{Seed: ro.seed, Scale: ro.scale, Jobs: ro.jobs, Pool: pool, Check: ro.check}
 	start := time.Now()
 	for _, e := range todo {
 		eopt := opt
@@ -204,6 +209,12 @@ func runExperiments(w io.Writer, todo []experiments.Experiment, ro runOptions) e
 		cells, busy := pool.Stats()
 		fmt.Fprintf(os.Stderr, "total: %d cells in %.1fs wall (%.1fs cpu, %.1fx speedup)\n",
 			cells, wall.Seconds(), busy.Seconds(), speedup(busy, wall))
+	}
+	if ro.check != nil {
+		fmt.Fprint(os.Stderr, ro.check.Report())
+		if n := ro.check.Total(); n > 0 {
+			return fmt.Errorf("invariant checker found %d violation(s)", n)
+		}
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/evtrace"
 	"repro/internal/gclog"
@@ -45,6 +46,7 @@ func main() {
 		evtraceCap = flag.Int("evtrace-cap", evtrace.DefaultSinkCap, "event-ring capacity per layer (oldest events are dropped beyond this)")
 		lockprof   = flag.Bool("lockprofile", false, "print the GCTaskManager lock-contention profile (ownership transitions, reacquisition runs)")
 		metricsF   = flag.Bool("metrics", false, "print the unified metrics registry after the run")
+		checkF     = flag.Bool("check", false, "run the cross-layer invariant checker online (exit 1 on violation)")
 	)
 	flag.Parse()
 
@@ -109,9 +111,14 @@ func main() {
 	// Observability hooks: the event tracer feeds both the Perfetto export
 	// and the lock profiler; the registry feeds -metrics and -gcjson.
 	var tracer *evtrace.Tracer
-	if *evtraceOut != "" || *lockprof {
+	if *evtraceOut != "" || *lockprof || *checkF {
 		tracer = evtrace.New(*evtraceCap)
 		spec.EvTracer = tracer
+	}
+	var checker *check.Checker
+	if *checkF {
+		checker = check.New()
+		checker.Attach(tracer)
 	}
 	var reg *evtrace.Registry
 	if *metricsF || *gcjson != "" {
@@ -123,6 +130,10 @@ func main() {
 		fail(err)
 	}
 	report(*opt, res, *gclogF)
+	if checker != nil {
+		checker.Finish()
+		fmt.Print(checker.Report())
+	}
 	if *evtraceOut != "" {
 		f, err := os.Create(*evtraceOut)
 		if err != nil {
@@ -153,6 +164,9 @@ func main() {
 		if err := gclog.WriteRunJSON(f, res.Reports, res.Monitor, res.Steal, reg.Current()); err != nil {
 			fail(err)
 		}
+	}
+	if checker != nil && checker.Total() > 0 {
+		os.Exit(1)
 	}
 }
 

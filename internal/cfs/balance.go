@@ -81,7 +81,9 @@ func (k *Kernel) selectWakeCore(t *Thread) ostopo.CoreID {
 }
 
 // newIdleBalance runs when a core is about to go idle: it pulls one
-// runnable thread from the busiest overloaded core, same node first.
+// runnable thread from the busiest overloaded core, same node first, and
+// dispatches it (afterPull) so the migrated thread never waits for an
+// unrelated event.
 func (k *Kernel) newIdleBalance(c *core) bool {
 	now := k.Sim.Now()
 	for _, lvl := range []ostopo.DomainLevel{ostopo.DomainNode, ostopo.DomainSystem} {
@@ -93,11 +95,26 @@ func (k *Kernel) newIdleBalance(c *core) bool {
 						Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
 						Arg1: int64(src.id), Arg2: int64(lvl)})
 				}
+				k.afterPull(c)
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// afterPull is the single post-pull dispatch point shared by both balance
+// paths: a destination core that was idle dispatches the pulled thread
+// immediately; a busy one only reprograms its timer (the pull changed its
+// queue occupancy and hence its slice length). Without this, a thread
+// migrated to an idle core would sit runnable until some unrelated event
+// happened to call pickNext there.
+func (k *Kernel) afterPull(dst *core) {
+	if dst.curr == nil {
+		dst.pickNext()
+	} else {
+		dst.reprogram()
+	}
 }
 
 // busiest returns the most loaded core in c's lvl domain with at least
@@ -115,7 +132,7 @@ func (k *Kernel) busiest(c *core, lvl ostopo.DomainLevel, minLoad int) *core {
 
 // pullOne migrates one eligible queued (not running, not cache-hot,
 // affinity-permitting) thread from src to dst, returning the migrated
-// thread or nil. The caller dispatches.
+// thread or nil. The caller must follow a successful pull with afterPull.
 func (k *Kernel) pullOne(src, dst *core, now simkit.Time) *Thread {
 	var best *Thread
 	for _, t := range src.rq {
@@ -226,10 +243,6 @@ func (k *Kernel) periodicBalance(c *core, lvl ostopo.DomainLevel) {
 				Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
 				Arg1: int64(src.id), Arg2: int64(lvl)})
 		}
-		if c.curr == nil {
-			c.pickNext()
-		} else {
-			c.reprogram()
-		}
+		k.afterPull(c)
 	}
 }

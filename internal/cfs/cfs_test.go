@@ -588,3 +588,58 @@ func TestMigrationRenormalizesVruntime(t *testing.T) {
 		t.Errorf("finished at %v, suggests starvation after migration", sim.Now())
 	}
 }
+
+// TestNoThreadStrandedAfterPull is the regression test for the unified
+// post-pull dispatch (afterPull): after every event, a core with queued
+// runnable threads must be executing one of them. Before the balance paths
+// shared afterPull, a new-idle pull could leave the migrated thread sitting
+// runnable on the idle destination core until an unrelated event happened
+// to call pickNext there — exactly the stranded schedule this walks into:
+// long workers stacked on core 0, core 1 going idle and pulling.
+func TestNoThreadStrandedAfterPull(t *testing.T) {
+	sim, k := newTestKernel(t, 2, 5)
+	var ths []*Thread
+	for i := 0; i < 3; i++ {
+		ths = append(ths, k.Spawn("w", 0, func(e *Env) { e.Compute(30 * ms) }))
+	}
+	// Core 1 idles after 1ms, forcing the new-idle path; the short cycle of
+	// sleeps re-enters idle repeatedly so the pull happens under several
+	// different queue shapes.
+	ths = append(ths, k.Spawn("blinker", 1, func(e *Env) {
+		for i := 0; i < 5; i++ {
+			e.Compute(200 * us)
+			e.Sleep(1 * ms)
+		}
+	}))
+	deadline := simkit.Time(simkit.Second)
+	for sim.Now() < deadline {
+		alive := false
+		for _, th := range ths {
+			if th.State() != StateDone {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+		if !sim.Step() {
+			break
+		}
+		// The stranded-thread assertion: between events, a non-empty
+		// runqueue implies a dispatched current thread.
+		for _, c := range k.cores {
+			if c.curr == nil && len(c.rq) > 0 {
+				t.Fatalf("t=%v: core %d stranded %d runnable thread(s) with no current",
+					sim.Now(), c.id, len(c.rq))
+			}
+		}
+	}
+	if k.Stats.NewIdlePulls == 0 {
+		t.Error("scenario never exercised the new-idle pull path")
+	}
+	for _, th := range ths {
+		if th.State() != StateDone {
+			t.Fatalf("thread %s not done at %v", th.Name, sim.Now())
+		}
+	}
+}

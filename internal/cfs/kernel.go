@@ -299,10 +299,11 @@ func (c *core) deschedule(t *Thread, newState State) {
 		c.k.trace.onDeschedule(c.id, now)
 	}
 	if c.k.etr != nil {
-		// The whole on-CPU interval becomes one dispatch span.
+		// The whole on-CPU interval becomes one dispatch span; Arg1 carries
+		// the core's min-vruntime for the monotonicity invariant.
 		c.k.etr.Emit(evtrace.Event{
 			Kind: evtrace.KDispatch, At: int64(t.dispatchedAt), Dur: int64(now - t.dispatchedAt),
-			Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
+			Core: int32(c.id), TID: int32(t.ID), Name: t.Name, Arg1: int64(c.minVr),
 		})
 	}
 	t.lastRanAt = now
@@ -320,6 +321,11 @@ func (c *core) push(t *Thread) {
 	t.core = c.id
 	t.seq = c.k.Sim.Fired()
 	c.rq = append(c.rq, t)
+	if c.k.etr != nil {
+		c.k.etr.Emit(evtrace.Event{Kind: evtrace.KRunqPush, At: int64(c.k.Sim.Now()),
+			Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
+			Arg1: int64(len(c.rq)), Arg2: int64(c.load())})
+	}
 }
 
 // popMin removes and returns the minimum-vruntime runnable thread.
@@ -334,6 +340,11 @@ func (c *core) popMin() *Thread {
 	t := c.rq[best]
 	c.rq[best] = c.rq[len(c.rq)-1]
 	c.rq = c.rq[:len(c.rq)-1]
+	if c.k.etr != nil {
+		c.k.etr.Emit(evtrace.Event{Kind: evtrace.KRunqPop, At: int64(c.k.Sim.Now()),
+			Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
+			Arg1: int64(len(c.rq)), Arg2: 0})
+	}
 	return t
 }
 
@@ -343,6 +354,11 @@ func (c *core) remove(t *Thread) bool {
 		if q == t {
 			c.rq[i] = c.rq[len(c.rq)-1]
 			c.rq = c.rq[:len(c.rq)-1]
+			if c.k.etr != nil {
+				c.k.etr.Emit(evtrace.Event{Kind: evtrace.KRunqPop, At: int64(c.k.Sim.Now()),
+					Core: int32(c.id), TID: int32(t.ID), Name: t.Name,
+					Arg1: int64(len(c.rq)), Arg2: 1})
+			}
 			return true
 		}
 	}
@@ -358,13 +374,14 @@ func (c *core) pickNext() {
 		return
 	}
 	if len(c.rq) == 0 {
-		// Becoming idle: try to steal work from a busy core first.
-		if k.newIdleBalance(c) && len(c.rq) > 0 {
-			// fall through to dispatch the pulled thread
-		} else {
+		// Becoming idle: try to steal work from a busy core first. A
+		// successful pull dispatches on this core inside newIdleBalance
+		// (post-pull dispatch is unified in afterPull), so this call is
+		// done either way.
+		if !k.newIdleBalance(c) {
 			c.idleSince = now
-			return
 		}
+		return
 	}
 	sc := c.siblingCheckpoint() // account the sibling at the pre-flip speed
 	t := c.popMin()

@@ -1,0 +1,400 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/evtrace"
+)
+
+// run feeds a hand-built event stream through a fresh checker (via a real
+// tracer subscription, so Seq assignment matches production) and runs the
+// end-of-stream checks.
+func run(events ...evtrace.Event) *Checker {
+	tr := evtrace.New(64)
+	ck := New()
+	ck.Attach(tr)
+	for _, e := range events {
+		tr.Emit(e)
+	}
+	ck.Finish()
+	return ck
+}
+
+func hasInv(ck *Checker, inv string) bool {
+	for _, v := range ck.Violations() {
+		if v.Inv == inv {
+			return true
+		}
+	}
+	return false
+}
+
+// Shorthand builders for the streams below.
+func push(at int64, core, tid int32, rqLen, load int64) evtrace.Event {
+	return evtrace.Event{Kind: evtrace.KRunqPush, At: at, Core: core, TID: tid, Arg1: rqLen, Arg2: load}
+}
+func pop(at int64, core, tid int32, rqLen, mode int64) evtrace.Event {
+	return evtrace.Event{Kind: evtrace.KRunqPop, At: at, Core: core, TID: tid, Arg1: rqLen, Arg2: mode}
+}
+func stint(at, dur int64, core, tid int32, minVr int64) evtrace.Event {
+	return evtrace.Event{Kind: evtrace.KDispatch, At: at, Dur: dur, Core: core, TID: tid, Arg1: minVr}
+}
+
+// TestInvariantsFire proves every invariant detects its seeded violation:
+// each case is a minimal hand-built event stream breaking exactly one
+// conservation law, and the checker must name that law.
+func TestInvariantsFire(t *testing.T) {
+	cases := []struct {
+		name   string
+		want   string // invariant that must fire
+		events []evtrace.Event
+	}{
+		{
+			name: "instant timestamps going backwards",
+			want: "time.monotonic",
+			events: []evtrace.Event{
+				{Kind: evtrace.KPreempt, At: 100, Core: 0, TID: 1},
+				{Kind: evtrace.KPreempt, At: 50, Core: 0, TID: 1},
+			},
+		},
+		{
+			name: "negative span duration",
+			want: "span.nonneg",
+			events: []evtrace.Event{
+				{Kind: evtrace.KGCPhase, At: 100, Dur: -5, Core: -1, TID: -1, Name: "init"},
+			},
+		},
+		{
+			name: "core dispatches a second thread mid-stint",
+			want: "sched.core-exclusive",
+			events: []evtrace.Event{
+				push(0, 0, 1, 1, 1),
+				push(0, 0, 2, 2, 2),
+				pop(0, 0, 1, 1, 0), // dispatch thread 1
+				pop(0, 0, 2, 0, 0), // dispatch thread 2 with 1 still on-CPU
+			},
+		},
+		{
+			name: "pop of a thread not on that runqueue",
+			want: "sched.rq-membership",
+			events: []evtrace.Event{
+				pop(0, 0, 7, 0, 0),
+			},
+		},
+		{
+			name: "thread pushed on two runqueues at once",
+			want: "sched.rq-membership",
+			events: []evtrace.Event{
+				push(0, 0, 1, 1, 1),
+				push(0, 1, 1, 1, 1),
+			},
+		},
+		{
+			name: "push reports a wrong runqueue length",
+			want: "sched.rq-accounting",
+			events: []evtrace.Event{
+				push(0, 0, 1, 2, 1), // rq really holds 1 thread
+			},
+		},
+		{
+			name: "push reports a wrong core load",
+			want: "sched.load-accounting",
+			events: []evtrace.Event{
+				push(0, 0, 1, 1, 5), // load is 1: one queued, none running
+			},
+		},
+		{
+			name: "dispatch span start disagrees with its pop",
+			want: "sched.dispatch-span",
+			events: []evtrace.Event{
+				push(10, 0, 1, 1, 1),
+				pop(10, 0, 1, 0, 0),
+				stint(20, 5, 0, 1, 0), // stint claims to start at 20, pop was at 10
+			},
+		},
+		{
+			name: "dispatch span for a thread that is not on-CPU",
+			want: "sched.dispatch-span",
+			events: []evtrace.Event{
+				stint(0, 10, 0, 3, 0),
+			},
+		},
+		{
+			name: "core min-vruntime going backwards",
+			want: "sched.vruntime-mono",
+			events: []evtrace.Event{
+				push(0, 0, 1, 1, 1),
+				pop(0, 0, 1, 0, 0),
+				stint(0, 10, 0, 1, 100),
+				push(10, 0, 1, 1, 1),
+				pop(10, 0, 1, 0, 0),
+				stint(10, 5, 0, 1, 50), // 50 after 100
+			},
+		},
+		{
+			name: "migration of a queued thread",
+			want: "sched.migrate-queued",
+			events: []evtrace.Event{
+				push(0, 0, 1, 1, 1),
+				{Kind: evtrace.KMigrate, At: 0, Core: 1, TID: 1, Arg1: 0, Arg2: 1},
+			},
+		},
+		{
+			name: "fast acquire of an owned lock",
+			want: "lock.owner",
+			events: []evtrace.Event{
+				{Kind: evtrace.KLockFast, At: 0, Core: -1, TID: 1, Name: "L"},
+				{Kind: evtrace.KLockFast, At: 1, Core: -1, TID: 2, Name: "L"},
+			},
+		},
+		{
+			name: "handoff of an owned lock",
+			want: "lock.owner",
+			events: []evtrace.Event{
+				{Kind: evtrace.KLockFast, At: 0, Core: -1, TID: 1, Name: "L"},
+				{Kind: evtrace.KLockHandoff, At: 1, Core: -1, TID: 2, Name: "L"},
+			},
+		},
+		{
+			name: "release by a thread that does not own the lock",
+			want: "lock.owner",
+			events: []evtrace.Event{
+				{Kind: evtrace.KLockRelease, At: 0, Core: -1, TID: 1, Name: "L"},
+			},
+		},
+		{
+			name: "reacquire flag set without a previous owner",
+			want: "lock.reacquire-flag",
+			events: []evtrace.Event{
+				{Kind: evtrace.KLockFast, At: 0, Core: -1, TID: 1, Name: "L", Arg2: 1},
+			},
+		},
+		{
+			name: "reacquire flag missing on an actual reacquisition",
+			want: "lock.reacquire-flag",
+			events: []evtrace.Event{
+				{Kind: evtrace.KLockFast, At: 0, Core: -1, TID: 1, Name: "L"},
+				{Kind: evtrace.KLockRelease, At: 1, Core: -1, TID: 1, Name: "L"},
+				{Kind: evtrace.KLockFast, At: 2, Core: -1, TID: 1, Name: "L", Arg2: 0},
+			},
+		},
+		{
+			name: "unlock-chain wakeup from the wrong releaser",
+			want: "lock.unblock-source",
+			events: []evtrace.Event{
+				{Kind: evtrace.KLockFast, At: 0, Core: -1, TID: 1, Name: "L"},
+				{Kind: evtrace.KLockRelease, At: 1, Core: -1, TID: 1, Name: "L"},
+				{Kind: evtrace.KLockUnblock, At: 2, Core: -1, TID: 2, Name: "L", Arg1: 9},
+			},
+		},
+		{
+			name: "bypass event with no queued waiters",
+			want: "lock.bypass",
+			events: []evtrace.Event{
+				{Kind: evtrace.KLockBypass, At: 0, Core: -1, TID: 1, Name: "L", Arg1: 0},
+			},
+		},
+		{
+			name: "termination offer outside [1, N]",
+			want: "term.offer-range",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTermOffer, At: 0, Core: 0, TID: 0, Arg1: 9, Arg2: 8},
+			},
+		},
+		{
+			name: "termination with unbalanced deque counters",
+			want: "taskq.balance",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTermDone, At: 0, Core: -1, TID: -1, Arg1: 5, Arg2: 4, Name: "GCTaskManager"},
+			},
+		},
+		{
+			name: "termination with an undispatched task pending",
+			want: "task.stranded",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KTermDone, At: 1, Core: -1, TID: -1, Arg1: 0, Arg2: 0, Name: "GCTaskManager"},
+			},
+		},
+		{
+			name: "task enqueued twice",
+			want: "task.unique",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KTaskEnqueue, At: 1, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+			},
+		},
+		{
+			name: "fetch of a task that was never enqueued",
+			want: "task.dispatch",
+			events: []evtrace.Event{
+				{Kind: evtrace.KGetTask, At: 0, Core: 0, TID: 0, Arg2: 99, Name: "ScavengeRootsTask"},
+			},
+		},
+		{
+			name: "task dispatched twice",
+			want: "task.dispatch",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KGetTask, At: 1, Core: 0, TID: 0, Arg2: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KGetTask, At: 2, Core: 0, TID: 1, Arg2: 1, Name: "ScavengeRootsTask"},
+			},
+		},
+		{
+			name: "task executed without being dispatched",
+			want: "task.execute",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KGCTask, At: 1, Dur: 2, Core: 0, TID: 0, Arg1: 1, Name: "ScavengeRootsTask"},
+			},
+		},
+		{
+			name: "task executed twice",
+			want: "task.execute",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KGetTask, At: 1, Core: 0, TID: 0, Arg2: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KGCTask, At: 2, Dur: 1, Core: 0, TID: 0, Arg1: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KGCTask, At: 4, Dur: 1, Core: 0, TID: 0, Arg1: 1, Name: "ScavengeRootsTask"},
+			},
+		},
+		{
+			name: "task never dispatched by end of run",
+			want: "task.undispatched",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+			},
+		},
+		{
+			name: "non-steal task never completed by end of run",
+			want: "task.incomplete",
+			events: []evtrace.Event{
+				{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+				{Kind: evtrace.KGetTask, At: 1, Core: 0, TID: 0, Arg2: 1, Name: "ScavengeRootsTask"},
+			},
+		},
+		{
+			name: "event scheduled into the past",
+			want: "simkit.schedule-past",
+			events: []evtrace.Event{
+				{Kind: evtrace.KEvSchedule, At: 100, Core: -1, TID: -1, Arg1: 50},
+			},
+		},
+		{
+			name: "more fires than schedules",
+			want: "simkit.conservation",
+			events: []evtrace.Event{
+				{Kind: evtrace.KEvFire, At: 0, Core: -1, TID: -1, Arg1: 1},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ck := run(tc.events...)
+			if !hasInv(ck, tc.want) {
+				t.Fatalf("stream did not trigger %q; got:\n%s", tc.want, ck.Report())
+			}
+		})
+	}
+}
+
+// TestCleanStreamHasNoViolations: a well-formed composite stream touching
+// every subsystem passes silently, including the Finish checks.
+func TestCleanStreamHasNoViolations(t *testing.T) {
+	ck := run(
+		// simkit: one schedule, one fire.
+		evtrace.Event{Kind: evtrace.KEvSchedule, At: 0, Core: -1, TID: -1, Arg1: 5},
+		evtrace.Event{Kind: evtrace.KEvFire, At: 5, Core: -1, TID: -1, Arg1: 1},
+		// sched: two full stints with a preemption between them.
+		push(5, 0, 1, 1, 1),
+		pop(5, 0, 1, 0, 0),
+		stint(5, 10, 0, 1, 10),
+		push(15, 0, 1, 1, 1),
+		pop(15, 0, 1, 0, 0),
+		stint(15, 5, 0, 1, 15),
+		// lock: acquire, release, reacquire with the flag set.
+		evtrace.Event{Kind: evtrace.KLockFast, At: 20, Core: -1, TID: 1, Name: "L"},
+		evtrace.Event{Kind: evtrace.KLockRelease, At: 21, Core: -1, TID: 1, Name: "L"},
+		evtrace.Event{Kind: evtrace.KLockFast, At: 22, Core: -1, TID: 1, Name: "L", Arg2: 1},
+		evtrace.Event{Kind: evtrace.KLockRelease, At: 23, Core: -1, TID: 1, Name: "L"},
+		// tasks: one root task and one steal task, both dispatched; the
+		// steal task legitimately never completes.
+		evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 24, Core: 0, TID: -1, Arg1: 1, Name: "ScavengeRootsTask"},
+		evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 24, Core: 0, TID: -1, Arg1: 2, Name: "StealTask"},
+		evtrace.Event{Kind: evtrace.KGetTask, At: 25, Core: 0, TID: 0, Arg2: 1, Name: "ScavengeRootsTask"},
+		evtrace.Event{Kind: evtrace.KGCTask, At: 25, Dur: 2, Core: 0, TID: 0, Arg1: 1, Name: "ScavengeRootsTask"},
+		evtrace.Event{Kind: evtrace.KGetTask, At: 27, Core: 0, TID: 1, Arg2: 2, Name: "StealTask"},
+		evtrace.Event{Kind: evtrace.KTermOffer, At: 28, Core: 0, TID: 1, Arg1: 1, Arg2: 1},
+		evtrace.Event{Kind: evtrace.KTermDone, At: 28, Core: -1, TID: -1, Arg1: 3, Arg2: 3, Name: "GCTaskManager"},
+		// the retrospective phase spans never trip the monotonic check.
+		evtrace.Event{Kind: evtrace.KGCPhase, At: 5, Dur: 3, Core: -1, TID: -1, Name: "init"},
+		evtrace.Event{Kind: evtrace.KGCSpan, At: 5, Dur: 23, Core: -1, TID: -1, Name: "minor"},
+	)
+	if ck.Total() != 0 {
+		t.Fatalf("clean stream produced violations:\n%s", ck.Report())
+	}
+	if err := ck.Err(); err != nil {
+		t.Fatalf("Err() = %v on a clean stream", err)
+	}
+}
+
+// TestMultiEngineStranding: task.stranded is scoped per engine instance —
+// engine 1's pending tasks do not fail engine 0's termination.
+func TestMultiEngineStranding(t *testing.T) {
+	const eng1Task = int64(1)<<32 | 1
+	ck := run(
+		evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: eng1Task, Name: "StealTask"},
+		evtrace.Event{Kind: evtrace.KTermDone, At: 1, Core: -1, TID: -1, Arg1: 0, Arg2: 0, Name: "GCTaskManager"},
+	)
+	if hasInv(ck, "task.stranded") {
+		t.Fatalf("engine 0's termination blamed for engine 1's pending task:\n%s", ck.Report())
+	}
+	ck = run(
+		evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: eng1Task, Name: "StealTask"},
+		evtrace.Event{Kind: evtrace.KTermDone, At: 1, Core: -1, TID: -1, Arg1: 0, Arg2: 0, Name: "GCTaskManager#1"},
+	)
+	if !hasInv(ck, "task.stranded") {
+		t.Fatalf("engine 1's termination did not catch its own pending task:\n%s", ck.Report())
+	}
+}
+
+// TestStealTaskExemptFromCompletion: a dispatched steal task left running
+// at end of run is legal (the simulation ends while it sleeps inside the
+// termination protocol), but dispatch is still mandatory.
+func TestStealTaskExemptFromCompletion(t *testing.T) {
+	ck := run(
+		evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "StealTask"},
+		evtrace.Event{Kind: evtrace.KGetTask, At: 1, Core: 0, TID: 0, Arg2: 1, Name: "StealTask"},
+	)
+	if ck.Total() != 0 {
+		t.Fatalf("dispatched steal task flagged at Finish:\n%s", ck.Report())
+	}
+	ck = run(
+		evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 0, Core: 0, TID: -1, Arg1: 1, Name: "StealTask"},
+	)
+	if !hasInv(ck, "task.undispatched") {
+		t.Fatalf("undispatched steal task not flagged:\n%s", ck.Report())
+	}
+}
+
+// TestViolationCap: a cascading failure retains only MaxViolations entries
+// but still counts the total.
+func TestViolationCap(t *testing.T) {
+	tr := evtrace.New(8)
+	ck := New()
+	ck.MaxViolations = 3
+	ck.Attach(tr)
+	for i := 0; i < 10; i++ {
+		tr.Emit(evtrace.Event{Kind: evtrace.KLockRelease, At: int64(i), Core: -1, TID: 1, Name: "L"})
+	}
+	if got := len(ck.Violations()); got != 3 {
+		t.Errorf("retained %d violations, want 3", got)
+	}
+	if ck.Total() != 10 {
+		t.Errorf("Total() = %d, want 10", ck.Total())
+	}
+	if !strings.Contains(ck.Report(), "7 more suppressed") {
+		t.Errorf("Report() missing suppression note:\n%s", ck.Report())
+	}
+}

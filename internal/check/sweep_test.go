@@ -1,0 +1,102 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/evtrace"
+	"repro/internal/jvm"
+	"repro/internal/workload"
+)
+
+// TestCheckerOnRealRun: a full optimized-configuration simulation with the
+// checker attached satisfies every invariant end to end.
+func TestCheckerOnRealRun(t *testing.T) {
+	p := workload.Lusearch()
+	p.TotalItems = 1500
+	tr := evtrace.New(0)
+	ck := New()
+	ck.Attach(tr)
+	cfg := jvm.Config{Profile: p, Mutators: 8, GCThreads: 8}
+	if _, err := jvm.Run(jvm.RunSpec{Config: cfg.WithOptimizations(), Seed: 7, EvTracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Finish()
+	if err := ck.Err(); err != nil {
+		t.Fatalf("%v\nfull report:\n%s", err, ck.Report())
+	}
+	if ck.EventsSeen() == 0 {
+		t.Fatal("checker saw no events; subscription broken")
+	}
+}
+
+// TestSweepSmoke runs the head of the default sweep — the same cells
+// `make check-invariants` and cmd/simcheck cover — and requires every cell
+// clean: no invariant violations, and byte-identical checked/bare replays.
+func TestSweepSmoke(t *testing.T) {
+	n := 8
+	if testing.Short() {
+		n = 3
+	}
+	for _, cell := range Cells(42, n) {
+		r := RunCell(cell)
+		if r.Failed() {
+			t.Errorf("%s", r.Summary())
+		}
+	}
+}
+
+// TestCellsPrefixStable: cell i must not depend on the sweep length, so a
+// short smoke sweep covers a prefix of the full one and any failure
+// reproduces with "-cells index+1".
+func TestCellsPrefixStable(t *testing.T) {
+	long, short := Cells(42, 32), Cells(42, 8)
+	for i := range short {
+		if long[i] != short[i] {
+			t.Fatalf("cell %d differs between n=8 and n=32:\n  %s\n  %s", i, short[i], long[i])
+		}
+	}
+	if Cells(43, 1)[0] == Cells(42, 1)[0] {
+		t.Fatal("different base seeds produced identical cells")
+	}
+}
+
+// TestWriteViolationWindow: the pre-violation export is valid trace-event
+// JSON containing only the window's events.
+func TestWriteViolationWindow(t *testing.T) {
+	tr := evtrace.New(0)
+	ck := New()
+	ck.Attach(tr)
+	for i := 0; i < 100; i++ {
+		tr.Emit(evtrace.Event{Kind: evtrace.KPreempt, At: int64(i), Core: 0, TID: 1})
+	}
+	// Seed a violation at seq 101.
+	tr.Emit(evtrace.Event{Kind: evtrace.KLockRelease, At: 100, Core: -1, TID: 1, Name: "L"})
+	if ck.Total() != 1 {
+		t.Fatalf("expected exactly one seeded violation, got %d", ck.Total())
+	}
+	v := ck.Violations()[0]
+	var buf bytes.Buffer
+	if err := WriteViolationWindow(&buf, tr, v, 10); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("window is not valid JSON: %v", err)
+	}
+	instants := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "i" {
+			instants++
+		}
+	}
+	// 10 seqs of context + the violation event itself.
+	if instants != 11 {
+		t.Errorf("window holds %d instants, want 11 (10 context + violation)", instants)
+	}
+}

@@ -88,7 +88,8 @@ const (
 	// --- cfs ---
 
 	// KDispatch is a span: one contiguous stint of a thread on a core
-	// (At = dispatch, Dur = stint length, Core, TID, Name = thread name).
+	// (At = dispatch, Dur = stint length, Core, TID, Name = thread name,
+	// Arg1 = the core's min-vruntime at deschedule).
 	KDispatch
 	// KPreempt: a slice expiry preempted the current thread.
 	KPreempt
@@ -103,6 +104,14 @@ const (
 	// KPeriodicPull: periodic balancing pulled a thread (Core = puller,
 	// Arg1 = source core, Arg2 = domain level).
 	KPeriodicPull
+	// KRunqPush: a thread was enqueued on a core's runqueue
+	// (Arg1 = runqueue length after the push, Arg2 = core load after).
+	KRunqPush
+	// KRunqPop: a thread left a core's runqueue (Arg1 = runqueue length
+	// after removal, Arg2 = 0 for a dispatch pop, 1 for a migration
+	// removal). A dispatch pop marks the start of the on-CPU stint whose
+	// KDispatch span is emitted retrospectively at deschedule.
+	KRunqPop
 
 	// --- jmutex ---
 
@@ -125,7 +134,8 @@ const (
 	// --- taskq ---
 
 	// KGetTask: a GC worker fetched a task from the GCTaskManager
-	// (TID = worker, Arg1 = task kind, Name = task kind name).
+	// (TID = worker, Arg1 = task kind, Arg2 = unique task id,
+	// Name = task kind name).
 	KGetTask
 	// KStealOK: a steal attempt succeeded (TID = thief, Arg1 = victim).
 	KStealOK
@@ -137,6 +147,10 @@ const (
 	// KTermSpin: one spin/yield (Arg2=0) or sleep (Arg2=1) iteration
 	// inside the termination protocol.
 	KTermSpin
+	// KTermDone: the termination protocol completed — the parallel phase
+	// is over (Arg1 = cumulative deque pushes across the engine's queues,
+	// Arg2 = cumulative pops + steals; equal iff every deque is empty).
+	KTermDone
 
 	// --- pscavenge ---
 
@@ -147,8 +161,11 @@ const (
 	// (Name = "init" | "parallel" | "final-sync").
 	KGCPhase
 	// KGCTask is a span covering one executed GC task (TID = worker,
-	// Name = task kind name).
+	// Arg1 = unique task id, Name = task kind name).
 	KGCTask
+	// KTaskEnqueue: the VM thread enqueued one GC task on the manager
+	// (Arg1 = unique task id, Arg2 = task kind, Name = task kind name).
+	KTaskEnqueue
 
 	numKinds
 )
@@ -169,6 +186,8 @@ var kindMeta = [numKinds]kindInfo{
 	KWakeup:       {LayerCFS, "wakeup", false},
 	KNewIdlePull:  {LayerCFS, "newidle_pull", false},
 	KPeriodicPull: {LayerCFS, "periodic_pull", false},
+	KRunqPush:     {LayerCFS, "rq_push", false},
+	KRunqPop:      {LayerCFS, "rq_pop", false},
 	KLockFast:     {LayerJmutex, "lock_fast", false},
 	KLockBypass:   {LayerJmutex, "lock_bypass", false},
 	KLockHandoff:  {LayerJmutex, "lock_handoff", false},
@@ -180,9 +199,11 @@ var kindMeta = [numKinds]kindInfo{
 	KStealFail:    {LayerTaskq, "steal_fail", false},
 	KTermOffer:    {LayerTaskq, "term_offer", false},
 	KTermSpin:     {LayerTaskq, "term_spin", false},
+	KTermDone:     {LayerTaskq, "term_done", false},
 	KGCSpan:       {LayerGC, "gc", true},
 	KGCPhase:      {LayerGC, "gc_phase", true},
 	KGCTask:       {LayerGC, "gc_task", true},
+	KTaskEnqueue:  {LayerGC, "task_enqueue", false},
 }
 
 // Layer returns the layer a kind belongs to.
@@ -267,6 +288,7 @@ type Tracer struct {
 	sinks [numLayers]sink
 	seq   uint64
 	names map[int32]string
+	subs  []func(Event)
 }
 
 // New creates a tracer whose per-layer rings hold capPerSink records each
@@ -295,6 +317,22 @@ func (t *Tracer) Emit(e Event) {
 	t.seq++
 	e.Seq = t.seq
 	t.sinks[kindMeta[e.Kind].layer].put(e)
+	for _, fn := range t.subs {
+		fn(e)
+	}
+}
+
+// Subscribe registers fn to receive every event at emission time, after
+// Seq assignment and ring insertion. Unlike the ring sinks, subscribers
+// see the complete stream even when old records are overwritten — this is
+// what online consumers (the internal/check invariant checker) rely on.
+// Subscribers must not emit; like the Tracer itself they are
+// single-threaded. Safe on a nil tracer (no-op).
+func (t *Tracer) Subscribe(fn func(Event)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.subs = append(t.subs, fn)
 }
 
 // RegisterThread associates a simulated thread id with its name, for the

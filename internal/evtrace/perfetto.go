@@ -50,7 +50,28 @@ func WritePerfetto(w io.Writer, t *Tracer) error {
 	if t == nil {
 		return fmt.Errorf("evtrace: WritePerfetto on nil tracer")
 	}
-	events := t.Events()
+	return writePerfettoEvents(w, t, t.Events())
+}
+
+// WritePerfettoWindow exports only the retained events whose bus sequence
+// number falls in [loSeq, hiSeq] — a window of the timeline around a point
+// of interest (internal/check exports the pre-violation window this way
+// for triage). Track metadata covers just the windowed events.
+func WritePerfettoWindow(w io.Writer, t *Tracer, loSeq, hiSeq uint64) error {
+	if t == nil {
+		return fmt.Errorf("evtrace: WritePerfettoWindow on nil tracer")
+	}
+	all := t.Events()
+	events := make([]Event, 0, len(all))
+	for _, e := range all {
+		if e.Seq >= loSeq && e.Seq <= hiSeq {
+			events = append(events, e)
+		}
+	}
+	return writePerfettoEvents(w, t, events)
+}
+
+func writePerfettoEvents(w io.Writer, t *Tracer, events []Event) error {
 	out := traceFile{DisplayTimeUnit: "ms"}
 
 	// Process/track metadata first. Track names for cores and threads are

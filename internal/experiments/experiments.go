@@ -15,8 +15,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"repro/internal/check"
 	"repro/internal/evtrace"
 	"repro/internal/jvm"
 	"repro/internal/runner"
@@ -49,6 +51,12 @@ type Options struct {
 	// Timeline, when non-nil, additionally records the scheduling trace of
 	// the requested cell and publishes its result for timeline rendering.
 	Timeline *TimelineCapture
+	// Check, when non-nil, attaches a fresh cross-layer invariant checker
+	// to every cell that runs through the shared plumbing (the same cells
+	// TraceDir covers) and merges each cell's findings into the collector.
+	// Like tracing, checking is record-only: the rendered tables are
+	// byte-identical with or without it.
+	Check *CheckCollector
 
 	// cellSeq numbers the experiment's cells; created by norm().
 	cellSeq *int64
@@ -60,6 +68,55 @@ type Options struct {
 type TimelineCapture struct {
 	Cell   int
 	Result *jvm.Result
+}
+
+// CheckCollector accumulates invariant-checker outcomes across all the
+// cells of an experiment batch. Cells run concurrently on the worker
+// pool, so merging is mutex-protected; retained violation messages are
+// capped at check.DefaultMaxViolations (the totals keep counting).
+type CheckCollector struct {
+	mu         sync.Mutex
+	cells      int
+	events     uint64
+	total      int
+	violations []string
+}
+
+// merge folds one finished cell's checker into the collector.
+func (cc *CheckCollector) merge(idx int, ck *check.Checker) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.cells++
+	cc.events += ck.EventsSeen()
+	cc.total += ck.Total()
+	for _, v := range ck.Violations() {
+		if len(cc.violations) >= check.DefaultMaxViolations {
+			break
+		}
+		cc.violations = append(cc.violations, fmt.Sprintf("cell %d: %s", idx, v))
+	}
+}
+
+// Total is the number of invariant violations found across all cells.
+func (cc *CheckCollector) Total() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.total
+}
+
+// Report renders a one-line summary plus any violations.
+func (cc *CheckCollector) Report() string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	s := fmt.Sprintf("check: %d cells, %d events, %d violation(s)\n",
+		cc.cells, cc.events, cc.total)
+	for _, v := range cc.violations {
+		s += "  " + v + "\n"
+	}
+	if cc.total > len(cc.violations) {
+		s += fmt.Sprintf("  ... %d more suppressed\n", cc.total-len(cc.violations))
+	}
+	return s
 }
 
 func (o Options) norm() Options {
@@ -231,9 +288,14 @@ func runIndexed(opt Options, idx int, cfg jvm.Config, seedOff int64, busy int) *
 // observability hooks attached.
 func runSpec(opt Options, idx int, spec jvm.RunSpec) *jvm.Result {
 	var tr *evtrace.Tracer
-	if opt.TraceDir != "" && idx >= 0 {
+	if (opt.TraceDir != "" && idx >= 0) || opt.Check != nil {
 		tr = evtrace.New(evtrace.DefaultSinkCap)
 		spec.EvTracer = tr
+	}
+	var ck *check.Checker
+	if opt.Check != nil {
+		ck = check.New()
+		ck.Attach(tr)
 	}
 	capture := opt.Timeline != nil && idx == opt.Timeline.Cell
 	if capture {
@@ -243,7 +305,11 @@ func runSpec(opt Options, idx int, spec jvm.RunSpec) *jvm.Result {
 	if err != nil {
 		panic(fmt.Sprintf("experiment run failed: %v", err))
 	}
-	if tr != nil {
+	if ck != nil {
+		ck.Finish()
+		opt.Check.merge(idx, ck)
+	}
+	if tr != nil && opt.TraceDir != "" && idx >= 0 {
 		if err := writeCellTrace(opt.TraceDir, idx, tr); err != nil {
 			panic(fmt.Sprintf("experiment trace export failed: %v", err))
 		}

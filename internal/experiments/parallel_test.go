@@ -140,6 +140,40 @@ func TestGoldenScale4TracingEnabled(t *testing.T) {
 	}
 }
 
+// TestGoldenScale4CheckEnabled asserts the correctness-harness contract:
+// the full scale-4 evaluation with the cross-layer invariant checker
+// attached to every cell renders byte-identically to the committed golden
+// fixture — checking only observes, it never perturbs a run — and the
+// checker stays silent across the entire evaluation. Skipped under -short
+// and -race like the other golden checks.
+func TestGoldenScale4CheckEnabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite invariant check skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full-suite invariant check skipped under -race")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_scale4_seed42.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := &CheckCollector{}
+	var b strings.Builder
+	for _, e := range All() {
+		e.Run(Options{Seed: 42, Scale: 4, Jobs: 4, Check: cc}).Render(&b)
+	}
+	if cc.Total() > 0 {
+		t.Errorf("invariant violations on the scale-4 evaluation:\n%s", cc.Report())
+	}
+	if cc.events == 0 {
+		t.Error("checker saw no events; per-cell attachment broken")
+	}
+	if b.String() != string(golden) {
+		t.Fatalf("scale-4 render with checking enabled differs from golden fixture:\n%s",
+			firstDiff(string(golden), b.String()))
+	}
+}
+
 // firstDiff returns the first differing line pair for a readable failure.
 func firstDiff(a, b string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")

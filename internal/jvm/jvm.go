@@ -212,7 +212,14 @@ func (m *Machine) AddJVM(cfg Config) (*JVM, error) {
 		rng:     rand.New(rand.NewSource(cfg.Seed + 7919)),
 		latency: &stats.Histogram{},
 	}
-	j.appMon = jmutex.New(m.K, "appLock", cfg.MutexPolicy)
+	// Later JVMs on a shared machine get suffixed lock names, so the event
+	// bus never conflates two monitors' ownership streams (§5.7 runs).
+	instance := len(m.jvms)
+	appLock := "appLock"
+	if instance > 0 {
+		appLock = fmt.Sprintf("appLock#%d", instance)
+	}
+	j.appMon = jmutex.New(m.K, appLock, cfg.MutexPolicy)
 	j.Bal = affinity.New(cfg.Affinity, m.K)
 	if cfg.Affinity == affinity.ModeDynamic {
 		// Algorithm 1 depends on the paper's kernel fix: load_avg that
@@ -226,6 +233,7 @@ func (m *Machine) AddJVM(cfg Config) (*JVM, error) {
 	}
 	opt := pscavenge.Options{
 		Threads:        gcThreads,
+		Instance:       instance,
 		SpawnCore:      cfg.SpawnCore,
 		MutexPolicy:    cfg.MutexPolicy,
 		StealKind:      cfg.Steal,

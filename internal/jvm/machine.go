@@ -39,12 +39,26 @@ func (m *Machine) SetEvTracer(t *evtrace.Tracer) {
 
 // NewMachine creates a machine. params may be nil for defaults.
 func NewMachine(seed int64, topo *ostopo.Topology, params *cfs.Params) *Machine {
+	return NewMachineTraced(seed, topo, params, nil)
+}
+
+// NewMachineTraced creates a machine with the event tracer installed
+// before the kernel is constructed, so even the kernel's own setup work
+// (arming the periodic balance timers) lands on the bus. Stream-complete
+// consumers — internal/check's simkit conservation law counts every
+// schedule against later fires and cancels — need this; installing the
+// tracer after construction (SetEvTracer) would silently miss those
+// events. tr may be nil (tracing disabled).
+func NewMachineTraced(seed int64, topo *ostopo.Topology, params *cfs.Params, tr *evtrace.Tracer) *Machine {
 	p := cfs.DefaultParams()
 	if params != nil {
 		p = *params
 	}
 	sim := simkit.New(seed)
-	return &Machine{Sim: sim, K: cfs.NewKernel(sim, topo, p)}
+	sim.SetTracer(tr)
+	m := &Machine{Sim: sim, K: cfs.NewKernel(sim, topo, p)}
+	m.K.SetEvTracer(tr)
+	return m
 }
 
 // AddBusyLoops spawns n CPU-bound interference threads pinned to cores

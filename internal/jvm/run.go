@@ -44,11 +44,8 @@ func Run(spec RunSpec) (*Result, error) {
 	if maxSim <= 0 {
 		maxSim = 20 * 60 * simkit.Second
 	}
-	m := NewMachine(spec.Seed, topo, spec.Sched)
+	m := NewMachineTraced(spec.Seed, topo, spec.Sched, spec.EvTracer)
 	defer m.Close()
-	if spec.EvTracer != nil {
-		m.SetEvTracer(spec.EvTracer)
-	}
 	m.Metrics = spec.Metrics
 	var tr *cfs.Trace
 	if spec.Trace {
@@ -77,13 +74,21 @@ func Run(spec RunSpec) (*Result, error) {
 // RunMulti executes several JVMs sharing one machine (§5.7) and returns
 // their results in order.
 func RunMulti(seed int64, topo *ostopo.Topology, sched *cfs.Params, busyLoops int, maxSim simkit.Time, cfgs ...Config) ([]*Result, error) {
+	return RunMultiTraced(seed, topo, sched, busyLoops, maxSim, nil, cfgs...)
+}
+
+// RunMultiTraced is RunMulti with a shared event-bus tracer attached from
+// machine construction on (nil disables tracing). Each JVM's monitors and
+// task ids are namespaced by its instance, so one bus carries all of them
+// unambiguously.
+func RunMultiTraced(seed int64, topo *ostopo.Topology, sched *cfs.Params, busyLoops int, maxSim simkit.Time, tr *evtrace.Tracer, cfgs ...Config) ([]*Result, error) {
 	if topo == nil {
 		topo = ostopo.PaperTestbed()
 	}
 	if maxSim <= 0 {
 		maxSim = 20 * 60 * simkit.Second
 	}
-	m := NewMachine(seed, topo, sched)
+	m := NewMachineTraced(seed, topo, sched, tr)
 	defer m.Close()
 	if busyLoops > 0 {
 		m.AddBusyLoops(busyLoops)

@@ -52,6 +52,10 @@ type Options struct {
 	// a copy rehomes the object on the copying thread's node (first-touch,
 	// as in NumaGiC). nil = uniform memory.
 	NUMA *NUMAModel
+	// Instance distinguishes engines sharing one kernel (multi-JVM
+	// machines, §5.7): it suffixes the GCTaskManager monitor name and
+	// namespaces task ids so one event bus carries unambiguous streams.
+	Instance int
 	// Costs overrides the calibration (nil = DefaultCosts).
 	Costs *Costs
 	// Metrics, when non-nil, receives the unified counter namespace
@@ -73,6 +77,7 @@ type Engine struct {
 
 	vmThread  *cfs.Thread
 	gcSeq     int
+	taskSeq   int64
 	seenEpoch []int
 	bar       *barrier
 	etr       *evtrace.Tracer // captured from the kernel at construction
@@ -183,7 +188,8 @@ func (g *Engine) execute(e *cfs.Env, w int, t *GCTask) {
 		// strings are static, so this never allocates.
 		g.etr.Emit(evtrace.Event{Kind: evtrace.KGCTask,
 			At: int64(start), Dur: int64(e.Now() - start),
-			Core: int32(e.Core()), TID: int32(w), Name: t.Kind.String()})
+			Core: int32(e.Core()), TID: int32(w), Name: t.Kind.String(),
+			Arg1: t.id})
 	}
 }
 
@@ -584,11 +590,15 @@ func (g *Engine) RunMajorGC(e *cfs.Env, roots RootSet) *GCReport {
 	return rep
 }
 
-// finishTasks assigns report pointers and (optionally) task affinity.
+// finishTasks assigns report pointers, unique task ids (namespaced by
+// Options.Instance so multi-JVM machines never collide on one bus), and
+// (optionally) task affinity.
 func (g *Engine) finishTasks(tasks []*GCTask, rep *GCReport) {
 	n := len(g.queues)
 	for i, t := range tasks {
 		t.rep = rep
+		g.taskSeq++
+		t.id = int64(g.Opt.Instance)<<32 | g.taskSeq
 		if g.Opt.TaskAffinity && t.Kind != TaskSteal && t.Kind != TaskMarkSteal {
 			t.Affinity = i % n
 		} else {

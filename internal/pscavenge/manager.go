@@ -1,6 +1,8 @@
 package pscavenge
 
 import (
+	"fmt"
+
 	"repro/internal/cfs"
 	"repro/internal/evtrace"
 	"repro/internal/jmutex"
@@ -19,9 +21,17 @@ type manager struct {
 }
 
 func newManager(g *Engine, policy jmutex.Policy, taskAffinity bool) *manager {
+	// On a multi-JVM machine (Options.Instance > 0) each engine's monitor
+	// gets a distinct name, so lock events on the shared bus never mix two
+	// monitors' ownership streams. A single JVM keeps the bare HotSpot name
+	// (what gcsim -lockprofile and the §3.2 traces look up).
+	name := "GCTaskManager"
+	if g.Opt.Instance > 0 {
+		name = fmt.Sprintf("GCTaskManager#%d", g.Opt.Instance)
+	}
 	return &manager{
 		g:            g,
-		mon:          jmutex.New(g.K, "GCTaskManager", policy),
+		mon:          jmutex.New(g.K, name, policy),
 		taskAffinity: taskAffinity,
 	}
 }
@@ -43,7 +53,7 @@ func (m *manager) getTask(e *cfs.Env, w int) *GCTask {
 	if m.g.etr != nil {
 		m.g.etr.Emit(evtrace.Event{Kind: evtrace.KGetTask, At: int64(e.Now()),
 			Core: int32(e.Core()), TID: int32(w), Name: task.Kind.String(),
-			Arg1: int64(task.Kind), Arg2: int64(len(m.queue))})
+			Arg1: int64(task.Kind), Arg2: task.id})
 	}
 	if task.rep != nil {
 		task.rep.recordDispatch(w, int(e.Core()), task.Kind)
@@ -75,6 +85,15 @@ func (m *manager) dequeue(w int) *GCTask {
 func (m *manager) enqueueAll(e *cfs.Env, tasks []*GCTask) {
 	m.mon.Lock(e)
 	m.queue = append(m.queue, tasks...)
+	if m.g.etr != nil {
+		// One enqueue event per task: the dispatch side of the
+		// every-task-dispatched-exactly-once conservation law.
+		for _, t := range tasks {
+			m.g.etr.Emit(evtrace.Event{Kind: evtrace.KTaskEnqueue, At: int64(e.Now()),
+				Core: int32(e.Core()), TID: -1, Name: t.Kind.String(),
+				Arg1: t.id, Arg2: int64(t.Kind)})
+		}
+	}
 	m.mon.NotifyAll(e)
 	m.mon.Unlock(e)
 }

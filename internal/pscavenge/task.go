@@ -56,6 +56,7 @@ type GCTask struct {
 
 	term *terminator // the GC cycle's terminator (steal kinds)
 	rep  *GCReport   // the GC cycle this task belongs to
+	id   int64       // unique task id for trace conservation checking
 }
 
 // RootSet carries the roots of one collection.

@@ -32,19 +32,26 @@ func newTerminator(g *Engine, total int, fast bool, localThreads []int) *termina
 }
 
 // threshold returns the consecutive-failure count after which worker w
-// offers termination.
+// offers termination. The base is N (all GC threads, §2.3); the fast
+// terminator (§4.2) shrinks it to N_live (threads that have not offered),
+// and Gidra's NUMA termination shrinks it to N_local (threads on w's
+// node). When both are enabled they compose as 2·min(N_live, N_local) —
+// each is an upper bound on the workers w could still steal from, so the
+// tighter one wins; neither silently overrides the other.
 func (t *terminator) threshold(w int) int {
+	base := t.total
 	if t.fast {
-		live := t.total - t.offered
-		if live < 1 {
-			live = 1
+		if live := t.total - t.offered; live < base {
+			base = live
 		}
-		return 2 * live
 	}
-	if t.localThreads != nil {
-		return 2 * t.localThreads[w]
+	if t.localThreads != nil && t.localThreads[w] < base {
+		base = t.localThreads[w]
 	}
-	return 2 * t.total
+	if base < 1 {
+		base = 1
+	}
+	return 2 * base
 }
 
 // peek reports whether any local queue has stealable work.
@@ -68,6 +75,14 @@ func (t *terminator) offer(e *cfs.Env, w int) bool {
 			Arg1: int64(t.offered), Arg2: int64(t.total)})
 	}
 	if t.offered >= t.total {
+		// Last offerer: re-check the queues before declaring the phase
+		// over. Work pushed between this worker's final failed steal and
+		// its offer (by a worker that has since offered too) would
+		// otherwise be lost — declared collected without being processed.
+		if t.peek() {
+			t.offered--
+			return false
+		}
 		t.complete()
 		return true
 	}
@@ -97,10 +112,25 @@ func (t *terminator) offer(e *cfs.Env, w int) bool {
 	return true
 }
 
-// complete ends the parallel phase and wakes the VM thread.
+// complete ends the parallel phase and wakes the VM thread. The KTermDone
+// event carries the engine-wide cumulative deque push and pop+steal
+// counts; they are equal exactly when every local queue is empty, which is
+// the conservation law termination rests on (checked by internal/check).
 func (t *terminator) complete() {
 	t.done = true
 	t.completedAt = t.g.K.Sim.Now()
+	if t.g.etr != nil {
+		var pushes, pops int64
+		for i := range t.g.queues {
+			q := &t.g.queues[i]
+			pushes += int64(q.Pushes)
+			pops += int64(q.Pops + q.Steals)
+		}
+		// Name carries the engine's manager-monitor name so a multi-JVM
+		// bus can attribute each termination to its engine.
+		t.g.etr.Emit(evtrace.Event{Kind: evtrace.KTermDone, At: int64(t.completedAt),
+			Core: -1, TID: -1, Arg1: pushes, Arg2: pops, Name: t.g.mgr.mon.Name})
+	}
 	if t.g.vmThread != nil {
 		t.g.K.Unpark(t.g.vmThread)
 	}

@@ -48,3 +48,28 @@ func TestTerminatorNUMAThreshold(t *testing.T) {
 		t.Errorf("NUMA threshold for thief 5 = %d, want 4", got)
 	}
 }
+
+// TestTerminatorFastNUMAThreshold: FastTerminator and NUMA termination
+// compose as 2·min(N_live, N_local) — each bounds the set of queues the
+// thief could still steal from, so the tighter bound wins. Previously
+// `fast` short-circuited and silently ignored localThreads.
+func TestTerminatorFastNUMAThreshold(t *testing.T) {
+	tm := &terminator{total: 8, fast: true, localThreads: []int{4, 4, 4, 4, 2, 2, 2, 2}}
+	for _, tc := range []struct {
+		offered, thief, want int
+	}{
+		{0, 0, 8},  // live=8, local=4: local is tighter
+		{0, 5, 4},  // live=8, local=2
+		{5, 0, 6},  // live=3, local=4: live is tighter
+		{5, 5, 4},  // live=3, local=2
+		{7, 0, 2},  // live=1
+		{8, 5, 2},  // live clamps to 1, local=2: threshold never 0
+		{12, 0, 2}, // defensive: past total
+	} {
+		tm.offered = tc.offered
+		if got := tm.threshold(tc.thief); got != tc.want {
+			t.Errorf("fast+NUMA threshold offered=%d thief=%d: got %d, want %d",
+				tc.offered, tc.thief, got, tc.want)
+		}
+	}
+}

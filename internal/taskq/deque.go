@@ -16,6 +16,7 @@ type Deque[T any] struct {
 	top   int // index of the oldest element
 
 	Pushes int
+	Pops   int // successful PopBottom calls (owner side)
 	Steals int // successful PopTop calls
 }
 
@@ -41,6 +42,7 @@ func (d *Deque[T]) PopBottom() (T, bool) {
 	v := d.items[len(d.items)-1]
 	d.items[len(d.items)-1] = zero
 	d.items = d.items[:len(d.items)-1]
+	d.Pops++
 	if d.Empty() {
 		d.reset()
 	}

@@ -133,18 +133,26 @@ func (s *semiRandom) ChooseVictim(self int, pool Pool, rng *rand.Rand) int {
 	}
 	q1 := randOther(self, n, rng)
 	q2 := s.lastSuccess[self]
-	if q2 < 0 || q2 == self || pool.QueueLen(q2) == 0 {
+	remembered := q2 >= 0 && q2 != self && pool.QueueLen(q2) > 0
+	if !remembered {
 		q2 = randOther(self, n, rng)
 	}
 	if pool.QueueLen(q1) == 0 && pool.QueueLen(q2) == 0 {
 		s.lastSuccess[self] = -1
 		return -1
 	}
-	// Prefer q2 (the remembered victim) on ties: stickiness is the point.
-	if pool.QueueLen(q2) >= pool.QueueLen(q1) {
-		return q2
+	if remembered {
+		// Prefer q2 (the remembered victim) on ties: stickiness is the
+		// point of Algorithm 2.
+		if pool.QueueLen(q2) >= pool.QueueLen(q1) {
+			return q2
+		}
+		return q1
 	}
-	return q1
+	// Both candidates are random draws — the remembered victim was unset,
+	// self, or empty — so there is nothing to be sticky to: fall back to
+	// plain best-of-2 (first draw wins ties, like bestOf2).
+	return longer(pool, q1, q2)
 }
 
 func (s *semiRandom) RecordResult(self, victim int, success bool) {

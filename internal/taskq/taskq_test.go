@@ -373,23 +373,80 @@ func TestSemiRandomFallbackWhenRememberedDrained(t *testing.T) {
 	}
 }
 
-// TestSemiRandomTiePrefersFallbackCandidate: ties go to q2 (the remembered
-// slot). When the remembered victim was invalid and q2 was replaced by a
-// random fallback, that fallback — not q1 — must win ties, mirroring the
-// stickiness rule of Algorithm 2.
-func TestSemiRandomTiePrefersFallbackCandidate(t *testing.T) {
-	pool := fakePool{0, 4, 4, 4} // every candidate pair ties
+// TestSemiRandomTieBreak pins the corrected tie rule of Algorithm 2: the
+// "prefer q2" stickiness applies only to a genuinely remembered victim.
+// When the remembered slot was unset, self, or empty — and q2 is just a
+// second random draw — ties fall back to plain best-of-2 (first draw
+// wins), exactly like bestOf2. Each case replays the rng's draw sequence
+// with a reference generator to know which queues were picked.
+func TestSemiRandomTieBreak(t *testing.T) {
+	cases := []struct {
+		name       string
+		pool       fakePool
+		remembered int  // lastSuccess[0] before the call
+		sticky     bool // true: remembered victim must win ties
+	}{
+		{"remembered victim wins ties", fakePool{0, 4, 4, 4}, 2, true},
+		{"remembered victim wins when longer", fakePool{0, 2, 5, 3}, 2, true},
+		{"no memory: first draw wins ties", fakePool{0, 4, 4, 4}, -1, false},
+		{"remembered is self: first draw wins ties", fakePool{0, 4, 4, 4}, 0, false},
+		{"remembered empty: first draw wins ties", fakePool{0, 4, 4, 0}, 3, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewSemiRandom(4).(*semiRandom)
+			rng := rand.New(rand.NewSource(9))
+			ref := rand.New(rand.NewSource(9)) // replays the same draws
+			for i := 0; i < 100; i++ {
+				p.lastSuccess[0] = tc.remembered
+				v := p.ChooseVictim(0, tc.pool, rng)
+				q1 := randOther(0, 4, ref)
+				var want int
+				if tc.sticky {
+					// Only q1 is drawn; the remembered victim is q2.
+					q2 := tc.remembered
+					if tc.pool.QueueLen(q2) >= tc.pool.QueueLen(q1) {
+						want = q2
+					} else {
+						want = q1
+					}
+				} else {
+					// Fallback path: q2 is a second random draw, plain
+					// best-of-2 semantics (q1 keeps ties).
+					q2 := randOther(0, 4, ref)
+					if tc.pool.QueueLen(q1) == 0 && tc.pool.QueueLen(q2) == 0 {
+						want = -1
+					} else {
+						want = longer(tc.pool, q1, q2)
+					}
+				}
+				if v != want {
+					t.Fatalf("iteration %d: got victim %d, want %d (q1=%d)", i, v, want, q1)
+				}
+			}
+		})
+	}
+}
+
+// TestSemiRandomStrictlyLongerRandomBeatsRemembered: stickiness prefers
+// the remembered victim only on ties or when it is longer; a strictly
+// longer random candidate must still win.
+func TestSemiRandomStrictlyLongerRandomBeatsRemembered(t *testing.T) {
+	pool := fakePool{0, 9, 1, 1} // queue 1 is strictly longest
 	p := NewSemiRandom(4).(*semiRandom)
-	p.lastSuccess[0] = 0 // invalid (self): forces the random fallback path
-	rng := rand.New(rand.NewSource(9))
-	ref := rand.New(rand.NewSource(9)) // replays the same draw sequence
+	rng := rand.New(rand.NewSource(3))
+	ref := rand.New(rand.NewSource(3))
 	for i := 0; i < 100; i++ {
-		_ = randOther(0, 4, ref) // q1
-		q2 := randOther(0, 4, ref)
-		if v := p.ChooseVictim(0, pool, rng); v != q2 {
-			t.Fatalf("iteration %d: tie broken to %d, want fallback candidate %d", i, v, q2)
+		p.lastSuccess[0] = 2 // remembered, non-empty, but short
+		v := p.ChooseVictim(0, pool, rng)
+		q1 := randOther(0, 4, ref)
+		want := 2
+		if pool.QueueLen(q1) > pool.QueueLen(2) {
+			want = q1
 		}
-		p.lastSuccess[0] = 0 // ChooseVictim may not touch it, but be explicit
+		if v != want {
+			t.Fatalf("iteration %d: got victim %d, want %d (q1=%d)", i, v, want, q1)
+		}
 	}
 }
 
