@@ -6,7 +6,8 @@
 GO ?= go
 
 .PHONY: build test race vet fmt-check bench check check-invariants results \
-	bench-smoke bench-baseline bench-compare trace-smoke
+	bench-smoke bench-baseline bench-compare trace-smoke bench-json \
+	benchjson-smoke
 
 build:
 	$(GO) build ./...
@@ -27,7 +28,7 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-check: fmt-check vet race check-invariants
+check: fmt-check vet race check-invariants bench-smoke benchjson-smoke
 
 # Correctness harness: race-test the checker package itself, then run a
 # 32-cell smoke slice of the seed-sweep property harness (a prefix of the
@@ -47,6 +48,28 @@ bench-smoke:
 	$(GO) test -race -run XXX -benchtime=1x -benchmem \
 		-bench 'BenchmarkSimkitSchedule$$|BenchmarkSimkitCancel$$|BenchmarkCoroSwitch$$' \
 		./internal/simkit/
+
+# Machine-readable benchmark snapshot: run the tier-1 benchmark subset
+# (simkit kernel micros at full benchtime plus the Fig10 / vanilla /
+# optimized macros at one iteration each) and convert the output to
+# BENCH_<yyyymmdd>.json via cmd/benchjson. Commit the file to extend the
+# perf trajectory; the format is documented in EXPERIMENTS.md.
+BENCH_JSON_OUT ?= BENCH_$(shell date +%Y%m%d).json
+bench-json:
+	{ $(GO) test -run XXX -benchmem \
+		-bench 'BenchmarkSimkitSchedule$$|BenchmarkSimkitScheduleDeep$$|BenchmarkSimkitCancel$$|BenchmarkCoroSwitch$$' \
+		./internal/simkit/ ; \
+	  $(GO) test -run XXX -benchtime 1x -benchmem \
+		-bench 'BenchmarkFig10$$|BenchmarkVanillaJVM$$|BenchmarkOptimizedJVM$$' . ; } \
+	| $(GO) run ./cmd/benchjson -o $(BENCH_JSON_OUT)
+	@echo "wrote $(BENCH_JSON_OUT)"
+
+# Fast CI gate for the benchmark tooling: the parser's unit tests, then a
+# one-iteration coro-switch micro piped through the real tool.
+benchjson-smoke:
+	$(GO) test ./cmd/benchjson/
+	$(GO) test -run XXX -benchtime=1x -benchmem -bench 'BenchmarkCoroSwitch$$' \
+		./internal/simkit/ | $(GO) run ./cmd/benchjson > /dev/null
 
 # benchstat workflow: record kernel + macro benchmarks before a change,
 # then compare after. benchstat is optional; without it, diff the files.
@@ -80,6 +103,8 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck $(TRACE_SMOKE_OUT)
 	$(GO) test -run 'TestGoldenScale4TracingEnabled' ./internal/experiments/
 
-# Regenerate the full evaluation output (seed 42, all cores).
+# Regenerate the committed full evaluation output (seed 42, all cores);
+# EXPERIMENTS.md explains how to read it.
 results:
-	$(GO) run ./cmd/experiments -run all -scale 1 -o results_full.txt
+	$(GO) run ./cmd/experiments -run all -scale 1 \
+		-o internal/experiments/testdata/results_full.txt

@@ -1,0 +1,159 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON artifact, so benchmark history can accumulate in
+// version control (`make bench-json` writes BENCH_<yyyymmdd>.json) and be
+// diffed or plotted without re-parsing the text format. It understands the
+// standard -benchmem columns (ns/op, B/op, allocs/op) and every custom
+// b.ReportMetric column the harness emits (simGC-ms, simPause-ms,
+// minorGCs, tables, jobs, ...). The format is documented in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark result line. Repeated -count runs of the same
+// benchmark produce one Result each, in input order; consumers aggregate.
+type Result struct {
+	// Name is the benchmark name with the -<GOMAXPROCS> suffix stripped
+	// (BenchmarkCoroSwitch-8 → CoroSwitch).
+	Name string `json:"name"`
+	// Pkg is the import path from the preceding "pkg:" header line.
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is b.N for this run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp mirror the -benchmem columns.
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other unit → value column (b.ReportMetric).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Artifact is the top-level JSON document.
+type Artifact struct {
+	Schema string   `json:"schema"` // "gcsim-bench/v1"
+	Date   string   `json:"date"`   // yyyy-mm-dd, local time of capture
+	Go     string   `json:"go"`
+	GOOS   string   `json:"goos"`
+	GOARCH string   `json:"goarch"`
+	Bench  []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	art, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(art.Bench) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` text and extracts every result line.
+// Non-benchmark lines (headers, PASS, ok) are skipped; "pkg:" headers set
+// the package attributed to subsequent results.
+func parse(r io.Reader) (*Artifact, error) {
+	art := &Artifact{
+		Schema: "gcsim-bench/v1",
+		Date:   time.Now().Format("2006-01-02"),
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		res.Pkg = pkg
+		art.Bench = append(art.Bench, res)
+	}
+	return art, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-N  iters  v unit  v unit ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	name, ok := strings.CutPrefix(fields[0], "Benchmark")
+	if !ok || name == "" {
+		return Result{}, false
+	}
+	// Strip the -<GOMAXPROCS> suffix if present.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var res Result
+	res.Name = name
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = n
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp, sawNs = v, true
+		case "B/op":
+			val := v
+			res.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			res.AllocsPerOp = &val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, sawNs
+}

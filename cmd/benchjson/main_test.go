@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/simkit
+cpu: Intel(R) Xeon(R)
+BenchmarkCoroSwitch-8   	 9599090	       120.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/simkit	2.1s
+pkg: repro
+BenchmarkFig10-8        	       2	1470123456 ns/op	        55.1 minorGCs	       812.4 simGC-ms	       101.2 simPause-ms	452000000 B/op	 1198540 allocs/op
+BenchmarkFig10-8        	       2	1481000000 ns/op	        55.1 minorGCs	       812.4 simGC-ms	       101.2 simPause-ms	452000001 B/op	 1198541 allocs/op
+ok  	repro	9.9s
+`
+
+func TestParse(t *testing.T) {
+	art, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != "gcsim-bench/v1" {
+		t.Errorf("schema = %q", art.Schema)
+	}
+	if len(art.Bench) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(art.Bench), art.Bench)
+	}
+
+	coro := art.Bench[0]
+	if coro.Name != "CoroSwitch" || coro.Pkg != "repro/internal/simkit" {
+		t.Errorf("first result = %q in %q, want CoroSwitch in repro/internal/simkit", coro.Name, coro.Pkg)
+	}
+	if coro.Iterations != 9599090 || coro.NsPerOp != 120.5 {
+		t.Errorf("CoroSwitch iters=%d ns/op=%v", coro.Iterations, coro.NsPerOp)
+	}
+	if coro.AllocsPerOp == nil || *coro.AllocsPerOp != 0 {
+		t.Errorf("CoroSwitch allocs/op = %v, want 0", coro.AllocsPerOp)
+	}
+
+	fig := art.Bench[1]
+	if fig.Name != "Fig10" || fig.Pkg != "repro" {
+		t.Errorf("second result = %q in %q, want Fig10 in repro", fig.Name, fig.Pkg)
+	}
+	if fig.NsPerOp != 1470123456 {
+		t.Errorf("Fig10 ns/op = %v", fig.NsPerOp)
+	}
+	for unit, want := range map[string]float64{"minorGCs": 55.1, "simGC-ms": 812.4, "simPause-ms": 101.2} {
+		if got := fig.Metrics[unit]; got != want {
+			t.Errorf("Fig10 metric %s = %v, want %v", unit, got, want)
+		}
+	}
+	// Repeated -count samples stay separate entries.
+	if art.Bench[2].Name != "Fig10" || art.Bench[2].NsPerOp != 1481000000 {
+		t.Errorf("third result = %+v, want second Fig10 sample", art.Bench[2])
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"Benchmark",                       // no name, no fields
+		"BenchmarkX-8 notanumber 1 ns/op", // bad iteration count
+		"BenchmarkX-8 10 twelve ns/op",    // bad value
+		"--- FAIL: TestSomething",
+		"",
+	} {
+		if res, ok := parseLine(line); ok {
+			t.Errorf("parseLine(%q) accepted: %+v", line, res)
+		}
+	}
+}

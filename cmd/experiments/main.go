@@ -186,10 +186,10 @@ func runExperiments(w io.Writer, todo []experiments.Experiment, ro runOptions) e
 			eopt.Timeline = &experiments.TimelineCapture{Cell: ro.timeline}
 		}
 		t0 := time.Now()
-		cells0, busy0 := pool.Stats()
+		snap := pool.Snapshot()
 		res := e.Run(eopt)
 		wall := time.Since(t0)
-		cells1, busy1 := pool.Stats()
+		cells, busy := pool.StatsSince(snap)
 		res.Render(w)
 		if ro.csvDir != "" {
 			if err := res.WriteCSV(ro.csvDir); err != nil {
@@ -202,7 +202,7 @@ func runExperiments(w io.Writer, todo []experiments.Experiment, ro runOptions) e
 			}
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %.1fs (%d cells, %.1fx speedup, jobs=%d)\n",
-			e.ID, wall.Seconds(), cells1-cells0, speedup(busy1-busy0, wall), pool.Workers())
+			e.ID, wall.Seconds(), cells, speedup(busy, wall), pool.Workers())
 	}
 	if len(todo) > 1 {
 		wall := time.Since(start)

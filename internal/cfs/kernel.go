@@ -45,6 +45,8 @@ type KernelStats struct {
 	WakesToIdleCore   int // wake placed on an idle core found by the sibling search
 	DeepIdleSkips     int // idle cores skipped by wake placement because deep idle
 	ContextSwitches   int
+	BodyResumes       int // coroutine resumes (Coro.Next) across all threads
+	PlanElisions      int // compute-plan slices serviced without resuming a body
 }
 
 type timerKind int
@@ -274,6 +276,21 @@ func (c *core) onTimer(kind timerKind) {
 	c.account(now)
 	switch {
 	case kind == timerComplete || t.remaining <= 0:
+		if t.planLeft != 0 {
+			// The finished slice belongs to a compute plan with slices to
+			// go: start the next one from the driver side. The timer and
+			// accounting sequence is exactly what a body-yielded Compute
+			// would produce (any sub-slice accounting residue is discarded,
+			// as advance does via remaining = 0 → remaining = d); only the
+			// coroutine round trip is elided.
+			if t.planLeft > 0 {
+				t.planLeft--
+			}
+			t.remaining = t.planSlice
+			k.Stats.PlanElisions++
+			c.reprogram()
+			return
+		}
 		// Work done: ask the body for its next request.
 		k.advance(t)
 	default:
@@ -434,8 +451,10 @@ func (k *Kernel) advance(t *Thread) {
 	}
 	for {
 		t.remaining = 0
+		t.planSlice, t.planLeft = 0, 0
 		prev := k.active
 		k.active = t
+		k.Stats.BodyResumes++
 		req, ok := t.coro.Next()
 		k.active = prev
 		now := k.Sim.Now()
@@ -447,6 +466,11 @@ func (k *Kernel) advance(t *Thread) {
 		switch req.kind {
 		case reqCompute:
 			t.remaining = req.d
+			if req.n > 1 {
+				t.planSlice, t.planLeft = req.d, req.n-1
+			} else if req.n < 0 {
+				t.planSlice, t.planLeft = req.d, -1
+			}
 			c.reprogram()
 			return
 		case reqSleep:

@@ -1,0 +1,61 @@
+package cfs
+
+import (
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// Scratch holds a retired kernel's backing arrays — the thread table and
+// one runqueue backing per core — for reuse by a later NewKernelWith. Like
+// simkit.Scratch and heap.Scratch it is plain data, one per in-flight
+// kernel; the experiment runner keeps one per pool worker. The zero value
+// is ready to use.
+type Scratch struct {
+	threads []*Thread
+	rqs     [][]*Thread
+}
+
+// NewKernelWith creates a kernel like NewKernel, adopting sc's backing
+// arrays (sc may be nil). The scratch is emptied; harvest it back with
+// Reclaim after Shutdown. Adopted storage only changes slice capacities —
+// nothing in the scheduler branches on capacity — so runs are
+// byte-identical with or without scratch.
+func NewKernelWith(sim *simkit.Sim, topo *ostopo.Topology, p Params, sc *Scratch) *Kernel {
+	k := NewKernel(sim, topo, p)
+	if sc != nil {
+		k.threads = sc.threads[:0]
+		sc.threads = nil
+		for i, c := range k.cores {
+			if i >= len(sc.rqs) {
+				break
+			}
+			c.rq = sc.rqs[i][:0]
+			sc.rqs[i] = nil
+		}
+	}
+	return k
+}
+
+// Reclaim harvests the kernel's thread table and runqueue backings into sc
+// for a later NewKernelWith. Call after Shutdown (and after the simulation
+// is done); the kernel is unusable afterwards. All pooled pointer slots
+// are cleared so retired threads — and the coroutine state they hang onto
+// — are not kept alive by the pooled storage.
+func (k *Kernel) Reclaim(sc *Scratch) {
+	ths := k.threads[:cap(k.threads)]
+	clear(ths)
+	sc.threads = ths[:0]
+	k.threads = nil
+	if cap(sc.rqs) < len(k.cores) {
+		sc.rqs = make([][]*Thread, len(k.cores))
+	}
+	sc.rqs = sc.rqs[:len(k.cores)]
+	for i, c := range k.cores {
+		rq := c.rq[:cap(c.rq)]
+		clear(rq)
+		sc.rqs[i] = rq[:0]
+		c.rq = nil
+		c.curr, c.lastRun = nil, nil
+	}
+	k.cores = nil
+}

@@ -39,8 +39,16 @@ func (s State) String() string {
 // (not an interface) so that yielding never allocates: the old interface
 // encoding boxed every reqCompute on the heap, one allocation per
 // scheduling point.
+//
+// A compute request may carry a plan: n > 1 asks for n back-to-back slices
+// of d nanoseconds each, and n < 0 for an endless supply of them. The
+// kernel services the follow-on slices from the driver side — same timer
+// events, same accounting, same preemption — without resuming the body
+// between slices (see Kernel.onTimer), so a body that would yield N
+// identical computes in a row pays one coroutine switch instead of N.
 type request struct {
 	d    simkit.Time // compute or sleep duration
+	n    int32       // compute slice count: 0/1 single, >1 plan, <0 endless
 	kind reqKind
 }
 
@@ -67,7 +75,14 @@ type Thread struct {
 	seq   uint64        // runqueue tiebreak
 
 	vruntime  simkit.Time
-	remaining simkit.Time // work left in the current compute request
+	remaining simkit.Time // work left in the current compute slice
+
+	// Compute-plan state: when the current slice completes and planLeft is
+	// non-zero, the kernel starts the next planSlice-long slice itself
+	// instead of resuming the body (planLeft < 0 means endless). Preemption
+	// and migration leave the plan intact; it resumes with the thread.
+	planSlice simkit.Time
+	planLeft  int32
 
 	dispatchedAt simkit.Time // when the current stint on CPU began
 	lastAccount  simkit.Time // last time CPU accounting ran for this thread
@@ -133,6 +148,34 @@ func (e *Env) Compute(d simkit.Time) {
 		return
 	}
 	e.yield(request{d: d, kind: reqCompute})
+}
+
+// ComputeN consumes n back-to-back slices of d nanoseconds of CPU work
+// each. It is observably identical to calling Compute(d) n times in a row
+// — the same timer events fire, the same vruntime is charged, preemption
+// interleaves at the same slice boundaries — but the kernel services the
+// follow-on slices itself, so the body pays one coroutine switch for the
+// whole plan instead of one per slice. Use it when nothing needs to happen
+// between the slices; a body that must observe state between slices (check
+// a flag, take a lock) still calls Compute per slice.
+func (e *Env) ComputeN(d simkit.Time, n int) {
+	if d <= 0 || n <= 0 {
+		return
+	}
+	e.yield(request{d: d, n: int32(n), kind: reqCompute})
+}
+
+// ComputeForever consumes d-nanosecond slices of CPU work until the end of
+// the simulation; it never returns. It replaces the busy-loop idiom
+// `for { e.Compute(d) }` with a single yield whose endless plan the kernel
+// services driver-side — same slices, same preemption, no per-slice
+// coroutine switch.
+func (e *Env) ComputeForever(d simkit.Time) {
+	if d <= 0 {
+		panic("cfs: ComputeForever needs a positive slice")
+	}
+	e.yield(request{d: d, n: -1, kind: reqCompute})
+	panic("cfs: ComputeForever resumed") // unreachable: only Stop unwinds it
 }
 
 // Sleep blocks the thread for d nanoseconds of virtual time.

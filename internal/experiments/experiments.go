@@ -285,8 +285,17 @@ func runIndexed(opt Options, idx int, cfg jvm.Config, seedOff int64, busy int) *
 }
 
 // runSpec executes one prepared RunSpec as cell idx with the options'
-// observability hooks attached.
+// observability hooks attached. The cell's machine is built from (and
+// harvested back into) a per-worker scratch held on the pool's free-list,
+// so a sweep rebuilds its event arenas, runqueues, and heap object tables
+// once per worker instead of once per cell.
 func runSpec(opt Options, idx int, spec jvm.RunSpec) *jvm.Result {
+	sc, _ := opt.Pool.GetScratch().(*jvm.Scratch)
+	if sc == nil {
+		sc = new(jvm.Scratch)
+	}
+	spec.Scratch = sc
+	defer opt.Pool.PutScratch(sc)
 	var tr *evtrace.Tracer
 	if (opt.TraceDir != "" && idx >= 0) || opt.Check != nil {
 		tr = evtrace.New(evtrace.DefaultSinkCap)

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/runner"
 )
 
 // renderAll renders the given experiments under opt into one string.
@@ -170,6 +172,35 @@ func TestGoldenScale4CheckEnabled(t *testing.T) {
 	}
 	if b.String() != string(golden) {
 		t.Fatalf("scale-4 render with checking enabled differs from golden fixture:\n%s",
+			firstDiff(string(golden), b.String()))
+	}
+}
+
+// TestGoldenScale4PooledWorkers asserts the scratch-pooling contract: the
+// full scale-4 evaluation run on one shared worker pool — so every cell
+// after the first few starts from backing arrays harvested from earlier
+// cells, across experiment boundaries — renders byte-identically to the
+// committed golden fixture. Scratch reuse only changes slice capacities,
+// never values (jvm.Scratch); this test pins that across the whole suite.
+// Skipped under -short and -race like the other golden checks.
+func TestGoldenScale4PooledWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite pooling determinism check skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full-suite pooling determinism check skipped under -race")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_scale4_seed42.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(2)
+	var b strings.Builder
+	for _, e := range All() {
+		e.Run(Options{Seed: 42, Scale: 4, Pool: pool}).Render(&b)
+	}
+	if b.String() != string(golden) {
+		t.Fatalf("scale-4 render on a shared scratch pool differs from golden fixture:\n%s",
 			firstDiff(string(golden), b.String()))
 	}
 }

@@ -117,12 +117,57 @@ type Heap struct {
 
 // New creates a heap.
 func New(cfg Config) (*Heap, error) {
+	return NewWith(cfg, nil)
+}
+
+// Scratch holds a retired heap's backing arrays (the object table, free
+// list, and per-space index slices) for reuse by a later NewWith. The
+// object table is the largest single allocation of a simulation cell —
+// millions of Object records per run — so recycling it per worker is the
+// bulk of the experiment runner's steady-state allocation savings. The
+// zero value is ready to use.
+type Scratch struct {
+	objs []Object
+	free []ObjID
+
+	eden, from, to, old, remembered []ObjID
+}
+
+// NewWith creates a heap like New, adopting sc's backing arrays (sc may be
+// nil). The scratch is emptied; reclaim the heap back into it with Reclaim
+// once the run is over. Adopted storage differs from a cold start only in
+// slice capacity, and object slots are fully reinitialized as they are
+// handed out (see newObject), so runs are byte-identical with or without
+// scratch.
+func NewWith(cfg Config, sc *Scratch) (*Heap, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	h := &Heap{cfg: cfg}
-	h.objs = make([]Object, 1, 1024) // slot 0 is the nil object
+	if sc != nil && cap(sc.objs) > 0 {
+		h.objs = sc.objs[:1]
+		h.objs[0] = Object{Refs: h.objs[0].Refs[:0]} // slot 0 is the nil object
+		h.free = sc.free[:0]
+		h.eden, h.from, h.to = sc.eden[:0], sc.from[:0], sc.to[:0]
+		h.old, h.remembered = sc.old[:0], sc.remembered[:0]
+		*sc = Scratch{}
+	} else {
+		h.objs = make([]Object, 1, 1024) // slot 0 is the nil object
+	}
 	return h, nil
+}
+
+// Reclaim harvests the heap's backing arrays into sc for a later NewWith.
+// The heap is unusable afterwards. Object records keep their Refs backing
+// arrays (ObjIDs, not pointers — nothing is retained through them), which
+// NewWith's resurrect path reuses.
+func (h *Heap) Reclaim(sc *Scratch) {
+	sc.objs = h.objs[:0]
+	sc.free = h.free[:0]
+	sc.eden, sc.from, sc.to = h.eden[:0], h.from[:0], h.to[:0]
+	sc.old, sc.remembered = h.old[:0], h.remembered[:0]
+	h.objs, h.free = nil, nil
+	h.eden, h.from, h.to, h.old, h.remembered = nil, nil, nil, nil, nil
 }
 
 // Config returns the heap's configuration.
@@ -208,6 +253,13 @@ func (h *Heap) newObject(size int32, sp Space) ObjID {
 	if n := len(h.free); n > 0 {
 		id = h.free[n-1]
 		h.free = h.free[:n-1]
+		o := &h.objs[id]
+		*o = Object{Size: size, Space: sp, Node: h.allocNode, Refs: o.Refs[:0]}
+	} else if len(h.objs) < cap(h.objs) {
+		// Growing into capacity adopted from a Scratch: resurrect the stale
+		// record like a free-list slot, keeping its Refs backing array.
+		h.objs = h.objs[:len(h.objs)+1]
+		id = ObjID(len(h.objs) - 1)
 		o := &h.objs[id]
 		*o = Object{Size: size, Space: sp, Node: h.allocNode, Refs: o.Refs[:0]}
 	} else {

@@ -1,0 +1,86 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// churn allocates, links, and collects with a seeded RNG, returning a
+// fingerprint of the heap's observable state.
+func churn(h *Heap, seed int64) (Stats, int, int64, int64, int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var live []ObjID
+	for i := 0; i < 4000; i++ {
+		id, ok := h.Alloc(64 + int32(rng.Intn(256)))
+		if !ok {
+			h.BeginMinorGC()
+			keep := live[:0]
+			for _, r := range live {
+				if rng.Intn(3) > 0 {
+					h.CopyYoung(r)
+					keep = append(keep, r)
+				}
+			}
+			for _, r := range h.RememberedSet() {
+				for _, c := range h.Get(r).Refs {
+					if h.young(c) && !h.Visited(c) {
+						h.CopyYoung(c)
+					}
+				}
+			}
+			live = keep
+			h.FinishMinorGC()
+			id, ok = h.Alloc(64 + int32(rng.Intn(256)))
+			if !ok {
+				break
+			}
+		}
+		if len(live) > 0 && rng.Intn(4) == 0 {
+			h.AddRef(live[rng.Intn(len(live))], id)
+		}
+		if len(live) < 300 || rng.Intn(2) == 0 {
+			live = append(live, id)
+		}
+	}
+	eden, from, old := h.Usage()
+	return h.Stats, h.LiveObjects(), eden, from, old
+}
+
+// TestHeapScratchReuseIsInvisible runs the same seeded churn on a cold
+// heap and on one built from another run's reclaimed object table; all
+// observables must match, because the resurrect paths fully reinitialize
+// every adopted record.
+func TestHeapScratchReuseIsInvisible(t *testing.T) {
+	cfg := Config{EdenBytes: 1 << 18, SurvivorBytes: 1 << 16, OldBytes: 1 << 20, TenureAge: 3}
+
+	cold, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, l0, e0, f0, o0 := churn(cold, 5)
+
+	var sc Scratch
+	warmup, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(warmup, 77) // different seed: nothing carries over but capacity
+	warmup.Reclaim(&sc)
+	if cap(sc.objs) < 2 {
+		t.Fatal("reclaim harvested no object table")
+	}
+
+	warm, err := NewWith(cfg, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, l1, e1, f1, o1 := churn(warm, 5)
+
+	if s0 != s1 {
+		t.Errorf("stats diverged:\ncold %+v\nwarm %+v", s0, s1)
+	}
+	if l0 != l1 || e0 != e1 || f0 != f1 || o0 != o1 {
+		t.Errorf("occupancy diverged: cold live=%d eden=%d from=%d old=%d, warm live=%d eden=%d from=%d old=%d",
+			l0, e0, f0, o0, l1, e1, f1, o1)
+	}
+}

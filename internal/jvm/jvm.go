@@ -203,7 +203,15 @@ func (m *Machine) AddJVM(cfg Config) (*JVM, error) {
 	if heapMB <= 0 {
 		heapMB = cfg.Profile.HeapMB
 	}
-	h, err := heap.New(cfg.Profile.HeapConfigMB(heapMB))
+	var isc *instanceScratch
+	if m.scratch != nil {
+		isc = m.scratch.inst(len(m.jvms))
+	}
+	var hsc *heap.Scratch
+	if isc != nil {
+		hsc = &isc.heap
+	}
+	h, err := heap.NewWith(cfg.Profile.HeapConfigMB(heapMB), hsc)
 	if err != nil {
 		return nil, err
 	}
@@ -267,8 +275,12 @@ func (m *Machine) AddJVM(cfg Config) (*JVM, error) {
 	if gp.RetainWindow < 2 {
 		gp.RetainWindow = 2
 	}
+	var gsc *objgraph.Scratch
+	if isc != nil {
+		gsc = &isc.graph
+	}
 	for i := 0; i < cfg.Mutators; i++ {
-		g, err := objgraph.NewMutator(i, h, gp, j.rng)
+		g, err := objgraph.NewMutatorWith(i, h, gp, j.rng, gsc)
 		if err != nil {
 			return nil, err
 		}

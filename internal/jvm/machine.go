@@ -25,8 +25,9 @@ type Machine struct {
 	// as the unified metrics registry.
 	Metrics *evtrace.Registry
 
-	jvms []*JVM
-	busy []*cfs.Thread
+	jvms    []*JVM
+	busy    []*cfs.Thread
+	scratch *Scratch // pooled backing arrays; harvested back by Close
 }
 
 // SetEvTracer installs the structured event-bus tracer on both the
@@ -50,13 +51,30 @@ func NewMachine(seed int64, topo *ostopo.Topology, params *cfs.Params) *Machine 
 // tracer after construction (SetEvTracer) would silently miss those
 // events. tr may be nil (tracing disabled).
 func NewMachineTraced(seed int64, topo *ostopo.Topology, params *cfs.Params, tr *evtrace.Tracer) *Machine {
+	return NewMachineScratch(seed, topo, params, tr, nil)
+}
+
+// NewMachineScratch is NewMachineTraced building the simulator and kernel
+// from pooled scratch storage (nil runs cold). The machine owns sc until
+// Close, which harvests the backing arrays back into it; see Scratch for
+// the reuse contract.
+func NewMachineScratch(seed int64, topo *ostopo.Topology, params *cfs.Params, tr *evtrace.Tracer, sc *Scratch) *Machine {
 	p := cfs.DefaultParams()
 	if params != nil {
 		p = *params
 	}
-	sim := simkit.New(seed)
-	sim.SetTracer(tr)
-	m := &Machine{Sim: sim, K: cfs.NewKernel(sim, topo, p)}
+	var sim *simkit.Sim
+	var k *cfs.Kernel
+	if sc != nil {
+		sim = simkit.NewWith(seed, &sc.sim)
+		sim.SetTracer(tr)
+		k = cfs.NewKernelWith(sim, topo, p, &sc.k)
+	} else {
+		sim = simkit.New(seed)
+		sim.SetTracer(tr)
+		k = cfs.NewKernel(sim, topo, p)
+	}
+	m := &Machine{Sim: sim, K: k, scratch: sc}
 	m.K.SetEvTracer(tr)
 	return m
 }
@@ -68,9 +86,10 @@ func (m *Machine) AddBusyLoops(n int) {
 		core := ostopo.CoreID(i % m.K.NumCPUs())
 		th := m.K.Spawn(fmt.Sprintf("busyloop#%d", i), core, func(e *cfs.Env) {
 			e.SetAffinity(core)
-			for {
-				e.Compute(1 * simkit.Millisecond)
-			}
+			// An endless compute plan: same 1 ms slices and preemption
+			// points as `for { e.Compute(1ms) }`, but the kernel services
+			// the slices without a coroutine switch per millisecond.
+			e.ComputeForever(1 * simkit.Millisecond)
 		})
 		m.busy = append(m.busy, th)
 	}
@@ -97,8 +116,22 @@ func (m *Machine) Run(maxTime simkit.Time) error {
 	return fmt.Errorf("jvm: simulation exceeded %v", maxTime)
 }
 
-// Close releases kernel timers and coroutine goroutines.
+// Close releases kernel timers and coroutine goroutines. If the machine
+// was built from a Scratch, its backing arrays are harvested back into the
+// scratch for the next cell.
 func (m *Machine) Close() {
 	m.K.Shutdown()
 	m.Sim.Close()
+	if sc := m.scratch; sc != nil {
+		m.scratch = nil
+		for i, j := range m.jvms {
+			is := sc.inst(i)
+			for _, ms := range j.muts {
+				ms.graph.Reclaim(&is.graph)
+			}
+			j.H.Reclaim(&is.heap)
+		}
+		m.K.Reclaim(&sc.k)
+		m.Sim.Reclaim(&sc.sim)
+	}
 }

@@ -30,6 +30,10 @@ type RunSpec struct {
 	// Metrics, when non-nil, is the unified counter registry, snapshotted
 	// after each collection.
 	Metrics *evtrace.Registry
+	// Scratch, when non-nil, supplies pooled backing arrays for the
+	// machine; Run harvests them back before returning. Reuse never
+	// changes results (see Scratch).
+	Scratch *Scratch
 }
 
 // Run executes a single-JVM simulation to completion and returns its
@@ -44,7 +48,7 @@ func Run(spec RunSpec) (*Result, error) {
 	if maxSim <= 0 {
 		maxSim = 20 * 60 * simkit.Second
 	}
-	m := NewMachineTraced(spec.Seed, topo, spec.Sched, spec.EvTracer)
+	m := NewMachineScratch(spec.Seed, topo, spec.Sched, spec.EvTracer, spec.Scratch)
 	defer m.Close()
 	m.Metrics = spec.Metrics
 	var tr *cfs.Trace

@@ -5,6 +5,19 @@
 // changing the assembled output. The pool bounds in-flight cells (by
 // default to GOMAXPROCS) so a large fan-out never oversubscribes the
 // machine.
+//
+// # Per-worker scratch
+//
+// A Pool also carries a bounded free-list of opaque scratch values
+// (GetScratch/PutScratch) so tasks can recycle expensive per-cell state —
+// event arenas, heap object tables, runqueue backings — across the cells a
+// sweep runs. The contract: a task takes one value (or starts fresh when
+// the list is empty), uses it exclusively while it runs, and returns it
+// only when done with it; values are never shared between in-flight tasks.
+// The list is capped at the pool's worker count, so steady state holds one
+// warm scratch per worker and the pool never hoards more. Scratch values
+// must make reuse observationally invisible (cells stay deterministic and
+// order-independent); see jvm.Scratch for the canonical implementation.
 package runner
 
 import (
@@ -23,6 +36,9 @@ type Pool struct {
 	workers int
 	tasks   atomic.Int64
 	busy    atomic.Int64 // nanoseconds spent inside task functions
+
+	mu      sync.Mutex
+	scratch []any // free-list of per-worker scratch values, capped at workers
 }
 
 // New creates a pool running at most jobs tasks concurrently.
@@ -40,9 +56,62 @@ func (p *Pool) Workers() int { return p.workers }
 
 // Stats returns the number of tasks executed so far and the aggregate time
 // spent inside them. busy divided by wall-clock time is the achieved
-// speedup.
+// speedup. The counters accumulate over the pool's whole lifetime; for a
+// single batch on a shared pool, use Snapshot and StatsSince.
 func (p *Pool) Stats() (tasks int64, busy time.Duration) {
 	return p.tasks.Load(), time.Duration(p.busy.Load())
+}
+
+// Snapshot is a point-in-time copy of a pool's cumulative counters, taken
+// with Pool.Snapshot and differenced with StatsSince.
+type Snapshot struct {
+	Tasks int64
+	Busy  time.Duration
+}
+
+// Snapshot captures the pool's cumulative counters so a later StatsSince
+// can report just the work in between — e.g. one experiment's cells on a
+// pool shared by a whole evaluation.
+func (p *Pool) Snapshot() Snapshot {
+	tasks, busy := p.Stats()
+	return Snapshot{Tasks: tasks, Busy: busy}
+}
+
+// StatsSince returns the tasks executed and busy time accrued since the
+// snapshot was taken.
+func (p *Pool) StatsSince(s Snapshot) (tasks int64, busy time.Duration) {
+	tasks, busy = p.Stats()
+	return tasks - s.Tasks, busy - s.Busy
+}
+
+// GetScratch pops a pooled scratch value, or returns nil when none is
+// available (the caller then builds a fresh one). The value is owned by
+// the caller until handed back with PutScratch.
+func (p *Pool) GetScratch() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.scratch); n > 0 {
+		v := p.scratch[n-1]
+		p.scratch[n-1] = nil
+		p.scratch = p.scratch[:n-1]
+		return v
+	}
+	return nil
+}
+
+// PutScratch returns a scratch value to the pool's free-list for a later
+// GetScratch. Values beyond one per worker are dropped (left to the Go
+// GC) so the pool never retains more warm state than its concurrency can
+// use. nil values are ignored.
+func (p *Pool) PutScratch(v any) {
+	if v == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.scratch) < p.workers {
+		p.scratch = append(p.scratch, v)
+	}
 }
 
 // ForEach invokes fn(i) for every i in [0,n), distributing indices across

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
@@ -93,4 +94,66 @@ func TestStatsAccumulate(t *testing.T) {
 	if tasks, _ = p.Stats(); tasks != 15 {
 		t.Errorf("Stats tasks after second call = %d, want 15", tasks)
 	}
+}
+
+// TestStatsSinceReportsDeltas is the regression test for per-experiment
+// speedup reporting: cumulative Stats on a shared pool must not leak one
+// batch's work into the next batch's numbers.
+func TestStatsSinceReportsDeltas(t *testing.T) {
+	p := New(4)
+	p.ForEach(10, func(int) { time.Sleep(time.Millisecond) })
+
+	snap := p.Snapshot()
+	p.ForEach(7, func(int) { time.Sleep(time.Millisecond) })
+	tasks, busy := p.StatsSince(snap)
+	if tasks != 7 {
+		t.Errorf("StatsSince tasks = %d, want 7 (cumulative leak)", tasks)
+	}
+	if busy < 7*time.Millisecond {
+		t.Errorf("StatsSince busy = %v, want >= 7ms", busy)
+	}
+	// The delta must be a strict subset of the lifetime counters.
+	totalTasks, totalBusy := p.Stats()
+	if totalTasks != 17 || busy >= totalBusy {
+		t.Errorf("StatsSince busy %v not below lifetime busy %v (tasks %d)", busy, totalBusy, totalTasks)
+	}
+}
+
+// TestScratchFreeList exercises the Get/Put contract: LIFO reuse, nil
+// rejection, and the one-per-worker cap.
+func TestScratchFreeList(t *testing.T) {
+	p := New(2)
+	if v := p.GetScratch(); v != nil {
+		t.Fatalf("empty pool returned scratch %v", v)
+	}
+	a, b, c := new(int), new(int), new(int)
+	p.PutScratch(a)
+	p.PutScratch(b)
+	p.PutScratch(c) // beyond the worker cap: dropped
+	p.PutScratch(nil)
+	got := []any{p.GetScratch(), p.GetScratch()}
+	if got[0] != b || got[1] != a {
+		t.Errorf("expected LIFO [b a], got %v", got)
+	}
+	if v := p.GetScratch(); v != nil {
+		t.Errorf("free-list should be drained, got %v", v)
+	}
+}
+
+// TestScratchConcurrentTasksNeverShare asserts exclusivity: values taken
+// inside concurrently running tasks are never handed to two tasks at once.
+func TestScratchConcurrentTasksNeverShare(t *testing.T) {
+	p := New(8)
+	p.ForEach(200, func(i int) {
+		v, _ := p.GetScratch().(*atomic.Int32)
+		if v == nil {
+			v = new(atomic.Int32)
+		}
+		if !v.CompareAndSwap(0, 1) {
+			t.Error("scratch value handed to two tasks at once")
+		}
+		time.Sleep(100 * time.Microsecond)
+		v.Store(0)
+		p.PutScratch(v)
+	})
 }

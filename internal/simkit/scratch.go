@@ -1,0 +1,49 @@
+package simkit
+
+// Scratch holds a retired simulation's backing arrays — the event arena,
+// its free list, and the pending-queue heap — so the next simulation can
+// start with warm, full-sized storage instead of growing from nothing.
+// The experiment runner executes dozens of independent cells per figure;
+// recycling these arrays per worker removes the dominant steady-state
+// allocations of a sweep (see runner.Pool's scratch free-list).
+//
+// A Scratch is plain data with no goroutines or cleanup. The zero value is
+// ready to use: NewWith on a zero Scratch is equivalent to New.
+type Scratch struct {
+	pq     []heapEnt
+	events []eventRec
+	free   []int32
+}
+
+// NewWith creates a simulator like New, adopting sc's backing arrays. The
+// scratch is emptied (its arrays now belong to the new Sim); reusing it
+// before Reclaim hands the arrays back would alias two simulations, so
+// callers keep one Scratch per in-flight Sim. sc may be nil.
+//
+// Adoption is invisible to the simulation: only slice capacities differ
+// from a cold start, and nothing in the kernel branches on capacity, so a
+// run is byte-identical with or without scratch.
+func NewWith(seed int64, sc *Scratch) *Sim {
+	s := New(seed)
+	if sc != nil {
+		s.pq = sc.pq[:0]
+		s.events = sc.events[:0]
+		s.free = sc.free[:0]
+		*sc = Scratch{}
+	}
+	return s
+}
+
+// Reclaim harvests the Sim's backing arrays into sc for a later NewWith.
+// The Sim must be finished (Close called, no more Step/At); it is unusable
+// afterwards. Event callbacks still referenced from the arena are cleared
+// so the retired simulation's closures (and everything they capture) are
+// not kept alive by the pooled storage.
+func (s *Sim) Reclaim(sc *Scratch) {
+	ev := s.events[:cap(s.events)]
+	clear(ev)
+	sc.events = ev[:0]
+	sc.pq = s.pq[:0] // heapEnt holds no pointers; truncation suffices
+	sc.free = s.free[:0]
+	s.pq, s.events, s.free = nil, nil, nil
+}

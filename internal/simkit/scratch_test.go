@@ -1,0 +1,57 @@
+package simkit
+
+import "testing"
+
+// runScripted drives a fixed little event script and returns a fingerprint
+// of the observable run: fire order, final time, RNG draws.
+func runScripted(s *Sim) (fired uint64, now Time, draw int64) {
+	for i := 0; i < 50; i++ {
+		d := Time(s.Rand().Int63n(int64(10 * Millisecond)))
+		var ev Event
+		ev = s.After(d, func() {
+			if s.Rand().Intn(4) == 0 {
+				s.After(1*Millisecond, func() {})
+			}
+		})
+		if i%7 == 0 {
+			s.Cancel(ev)
+		}
+	}
+	s.Run()
+	return s.Fired(), s.Now(), s.Rand().Int63()
+}
+
+// TestScratchReuseIsInvisible runs the same seeded script on a cold Sim
+// and on a Sim built from another run's reclaimed storage; every
+// observable must match, since adoption only changes slice capacities.
+func TestScratchReuseIsInvisible(t *testing.T) {
+	cold := New(99)
+	f0, n0, d0 := runScripted(cold)
+
+	var sc Scratch
+	warmup := New(123) // different seed: the scratch carries no state over
+	runScripted(warmup)
+	warmup.Close()
+	warmup.Reclaim(&sc)
+	if cap(sc.events) == 0 {
+		t.Fatal("reclaim harvested no event arena")
+	}
+
+	warm := NewWith(99, &sc)
+	f1, n1, d1 := runScripted(warm)
+	if f0 != f1 || n0 != n1 || d0 != d1 {
+		t.Fatalf("scratch-built run diverged: cold (fired=%d now=%v draw=%d), warm (fired=%d now=%v draw=%d)",
+			f0, n0, d0, f1, n1, d1)
+	}
+
+	// Reclaim clears the pooled callbacks so retired closures are not
+	// retained by the free-list.
+	warm.Close()
+	var sc2 Scratch
+	warm.Reclaim(&sc2)
+	for i, rec := range sc2.events[:cap(sc2.events)] {
+		if rec.fn != nil {
+			t.Fatalf("reclaimed arena slot %d still holds a callback", i)
+		}
+	}
+}

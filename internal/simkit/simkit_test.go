@@ -324,3 +324,22 @@ func TestCoroManyInterleaved(t *testing.T) {
 		}
 	}
 }
+
+func TestCoroBodyPanicPropagatesToNext(t *testing.T) {
+	// A real panic in the body (not the internal stop sentinel) must reach
+	// the driver's Next call, not vanish inside the coroutine goroutine.
+	c := NewCoro(nil, func(yield func(int)) {
+		yield(1)
+		panic("boom")
+	})
+	if v, ok := c.Next(); !ok || v != 1 {
+		t.Fatalf("first Next = (%v, %v), want (1, true)", v, ok)
+	}
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want body panic value", r)
+		}
+	}()
+	c.Next()
+	t.Error("second Next returned instead of panicking")
+}
