@@ -7,7 +7,7 @@ GO ?= go
 
 .PHONY: build test race vet fmt-check bench check check-invariants results \
 	bench-smoke bench-baseline bench-compare trace-smoke bench-json \
-	benchjson-smoke
+	benchjson-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-check: fmt-check vet race check-invariants bench-smoke benchjson-smoke
+check: fmt-check vet race check-invariants bench-smoke benchjson-smoke serve-smoke
 
 # Correctness harness: race-test the checker package itself, then run a
 # 32-cell smoke slice of the seed-sweep property harness (a prefix of the
@@ -53,15 +53,18 @@ bench-smoke:
 # (simkit kernel micros at full benchtime plus the Fig10 / vanilla /
 # optimized macros at one iteration each) and convert the output to
 # BENCH_<yyyymmdd>.json via cmd/benchjson. Commit the file to extend the
-# perf trajectory; the format is documented in EXPERIMENTS.md.
+# perf trajectory; the format is documented in EXPERIMENTS.md. An existing
+# same-day snapshot is never clobbered — rerun with
+# `make bench-json BENCHJSON_FLAGS=-force` to replace it deliberately.
 BENCH_JSON_OUT ?= BENCH_$(shell date +%Y%m%d).json
+BENCHJSON_FLAGS ?=
 bench-json:
 	{ $(GO) test -run XXX -benchmem \
 		-bench 'BenchmarkSimkitSchedule$$|BenchmarkSimkitScheduleDeep$$|BenchmarkSimkitCancel$$|BenchmarkCoroSwitch$$' \
 		./internal/simkit/ ; \
 	  $(GO) test -run XXX -benchtime 1x -benchmem \
 		-bench 'BenchmarkFig10$$|BenchmarkVanillaJVM$$|BenchmarkOptimizedJVM$$' . ; } \
-	| $(GO) run ./cmd/benchjson -o $(BENCH_JSON_OUT)
+	| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -o $(BENCH_JSON_OUT)
 	@echo "wrote $(BENCH_JSON_OUT)"
 
 # Fast CI gate for the benchmark tooling: the parser's unit tests, then a
@@ -91,6 +94,14 @@ bench-compare:
 	else \
 		echo "benchstat not installed; compare bench-baseline.txt and bench-new.txt manually"; \
 	fi
+
+# gcsimd cache-contract smoke test, race-enabled: boots an in-process
+# server, POSTs the same scenario twice (must be miss then hit with
+# byte-identical bodies and matching /metrics counters), replays a sweep
+# from cache, and load-generates both paths — the cached path must beat
+# the cold path by >= 10x RPS.
+serve-smoke:
+	$(GO) run -race ./cmd/gcsimd -selftest -n 100
 
 # Observability smoke test: a small traced gcsim run must export a
 # Perfetto file containing events from all five instrumented layers

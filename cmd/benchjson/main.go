@@ -11,6 +11,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,7 @@ type Artifact struct {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
+	force := flag.Bool("force", false, "overwrite an existing -o file (by default an existing snapshot is preserved)")
 	flag.Parse()
 
 	art, err := parse(os.Stdin)
@@ -64,7 +66,7 @@ func main() {
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err := openOut(*out, *force)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
@@ -78,6 +80,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// openOut opens the -o target. Benchmark snapshots are history (a same-day
+// `make bench-json` rerun used to clobber the committed BENCH_<date>.json
+// silently), so an existing file is refused unless -force is given.
+func openOut(path string, force bool) (*os.File, error) {
+	if force {
+		return os.Create(path)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if errors.Is(err, os.ErrExist) {
+		return nil, fmt.Errorf("%s already exists; pass -force to overwrite the snapshot", path)
+	}
+	return f, err
 }
 
 // parse consumes `go test -bench` text and extracts every result line.

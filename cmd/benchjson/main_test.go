@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,6 +58,42 @@ func TestParse(t *testing.T) {
 	// Repeated -count samples stay separate entries.
 	if art.Bench[2].Name != "Fig10" || art.Bench[2].NsPerOp != 1481000000 {
 		t.Errorf("third result = %+v, want second Fig10 sample", art.Bench[2])
+	}
+}
+
+// An existing snapshot must survive a rerun: openOut refuses to overwrite
+// without -force and leaves the original bytes intact.
+func TestOpenOutRefusesClobberWithoutForce(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_20260808.json")
+
+	f, err := openOut(path, false)
+	if err != nil {
+		t.Fatalf("fresh openOut: %v", err)
+	}
+	if _, err := f.WriteString("original snapshot"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := openOut(path, false); err == nil {
+		t.Fatal("openOut overwrote an existing snapshot without -force")
+	} else if !strings.Contains(err.Error(), "-force") {
+		t.Errorf("refusal error does not mention -force: %v", err)
+	}
+	if got, err := os.ReadFile(path); err != nil || string(got) != "original snapshot" {
+		t.Fatalf("existing snapshot damaged: %q, %v", got, err)
+	}
+
+	f, err = openOut(path, true)
+	if err != nil {
+		t.Fatalf("openOut -force: %v", err)
+	}
+	if _, err := f.WriteString("new"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got, _ := os.ReadFile(path); string(got) != "new" {
+		t.Fatalf("-force did not replace the snapshot: %q", got)
 	}
 }
 

@@ -2,39 +2,62 @@
 // frequency against per-collection cost, and how the optimized JVM shifts
 // that trade-off — it reaches a given total time at a much smaller memory
 // footprint than the vanilla JVM.
+//
+// By default the study simulates in-process. With -server it becomes a
+// gcsimd client instead, POSTing the whole grid to the daemon's /sweep
+// endpoint — the second run of the study is answered entirely from the
+// response cache:
+//
+//	go run ./cmd/gcsimd &
+//	go run ./examples/heaptuning -server http://127.0.0.1:8379
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/service"
 	"repro/internal/stats"
 )
 
+var heapsMB = []int{30, 60, 90, 180, 360, 900}
+
+// point is one table row: vanilla and optimized predictions at one heap.
+type point struct {
+	mb                 int
+	vanillaTot, optTot float64
+	vanillaGC, optGC   float64
+	minorGCs           int
+}
+
 func main() {
+	server := flag.String("server", "", "gcsimd base URL; empty simulates in-process")
+	flag.Parse()
+
+	var (
+		pts []point
+		err error
+	)
+	if *server != "" {
+		pts, err = sweepViaServer(*server)
+	} else {
+		pts, err = sweepInProcess()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	tab := stats.NewTable("lusearch across heap sizes",
 		"heap(MB)", "vanilla-total(ms)", "opt-total(ms)", "vanilla-gc(ms)", "opt-gc(ms)", "minor-GCs")
-	type point struct {
-		mb          int
-		vanillaTot  float64
-		optimizeTot float64
-	}
-	var pts []point
-	for _, mb := range []int{30, 60, 90, 180, 360, 900} {
-		van, opt, err := core.Compare(core.Config{
-			Benchmark: "lusearch",
-			Mutators:  16,
-			HeapMB:    mb,
-			Seed:      31,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		tab.AddRow(mb, van.TotalTime.Millis(), opt.TotalTime.Millis(),
-			van.GCTime.Millis(), opt.GCTime.Millis(), van.MinorGCs)
-		pts = append(pts, point{mb, van.TotalTime.Millis(), opt.TotalTime.Millis()})
+	for _, p := range pts {
+		tab.AddRow(p.mb, p.vanillaTot, p.optTot, p.vanillaGC, p.optGC, p.minorGCs)
 	}
 	tab.Render(os.Stdout)
 
@@ -46,14 +69,95 @@ func main() {
 	for _, p := range pts {
 		equiv := -1
 		for _, v := range pts {
-			if v.vanillaTot <= p.optimizeTot*1.05 {
+			if v.vanillaTot <= p.optTot*1.05 {
 				equiv = v.mb
 				break
 			}
 		}
 		if equiv > p.mb {
 			fmt.Printf("optimized @ %3d MB (%.0f ms)  ≈  vanilla needs %d MB (%.1fx the footprint)\n",
-				p.mb, p.optimizeTot, equiv, float64(equiv)/float64(p.mb))
+				p.mb, p.optTot, equiv, float64(equiv)/float64(p.mb))
 		}
 	}
+}
+
+func sweepInProcess() ([]point, error) {
+	var pts []point
+	for _, mb := range heapsMB {
+		van, opt, err := core.Compare(core.Config{
+			Benchmark: "lusearch",
+			Mutators:  16,
+			HeapMB:    mb,
+			Seed:      31,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, point{
+			mb:         mb,
+			vanillaTot: van.TotalTime.Millis(), optTot: opt.TotalTime.Millis(),
+			vanillaGC: van.GCTime.Millis(), optGC: opt.GCTime.Millis(),
+			minorGCs: van.MinorGCs,
+		})
+	}
+	return pts, nil
+}
+
+// sweepViaServer asks a running gcsimd for the same grid: heap axis ×
+// {vanilla, optimized}. Cells come back in row-major order (optimizations
+// axis fastest), so cell index = heapIdx*2 + optIdx.
+func sweepViaServer(base string) ([]point, error) {
+	req := service.SweepRequest{
+		Base:          service.Scenario{Benchmark: "lusearch", Mutators: 16, Seed: 31},
+		HeapMB:        heapsMB,
+		Optimizations: []string{"none", "all"},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("is gcsimd running? %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sweep: HTTP %d", resp.StatusCode)
+	}
+
+	preds := make([]service.Prediction, 2*len(heapsMB))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	seen := 0
+	for sc.Scan() {
+		var cell service.SweepCell
+		if err := json.Unmarshal(sc.Bytes(), &cell); err != nil {
+			return nil, fmt.Errorf("bad sweep line: %w", err)
+		}
+		if cell.Error != "" {
+			return nil, fmt.Errorf("cell %d: %s", cell.Index, cell.Error)
+		}
+		if err := json.Unmarshal(cell.Prediction, &preds[cell.Index]); err != nil {
+			return nil, err
+		}
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if seen != len(preds) {
+		return nil, fmt.Errorf("sweep returned %d of %d cells", seen, len(preds))
+	}
+
+	pts := make([]point, len(heapsMB))
+	for i, mb := range heapsMB {
+		van, opt := preds[i*2], preds[i*2+1]
+		pts[i] = point{
+			mb:         mb,
+			vanillaTot: van.TotalMs, optTot: opt.TotalMs,
+			vanillaGC: van.GCMs, optGC: opt.GCMs,
+			minorGCs: van.MinorGCs,
+		}
+	}
+	return pts, nil
 }

@@ -47,6 +47,32 @@ func TestSweepSmoke(t *testing.T) {
 	}
 }
 
+// TestDigestStableAcrossRepeatedRuns: the sweep digest — the same encoding
+// the gcsimd response cache hashes — must be byte-stable: digesting one
+// cell's results repeatedly, and re-running the same cell from scratch,
+// always yields the identical hex string. Any map-iteration order leaking
+// into the digested encoding would flake this test.
+func TestDigestStableAcrossRepeatedRuns(t *testing.T) {
+	cell := Cells(42, 1)[0]
+	results, err := runCellOnce(cell, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := digestResults(results)
+	for i := 0; i < 10; i++ {
+		if got := digestResults(results); got != want {
+			t.Fatalf("repeated digest of one result set differs: %s != %s", got, want)
+		}
+	}
+	rerun, err := runCellOnce(cell, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := digestResults(rerun); got != want {
+		t.Fatalf("fresh replay digest differs: %s != %s", got, want)
+	}
+}
+
 // TestCellsPrefixStable: cell i must not depend on the sweep length, so a
 // short smoke sweep covers a prefix of the full one and any failure
 // reproduces with "-cells index+1".

@@ -17,6 +17,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"repro/internal/affinity"
@@ -103,8 +105,62 @@ type Config struct {
 	// SMT enables hyperthreading on the simulated testbed (§5.8).
 	SMT bool
 
-	// Seed makes the whole simulation deterministic (default 42).
+	// Seed makes the whole simulation deterministic. Every value —
+	// including 0 — is a distinct, runnable seed; callers that want the
+	// conventional default should pass DefaultSeed explicitly (the CLI
+	// flag defaults do).
 	Seed int64
+}
+
+// DefaultSeed is the conventional seed used by the CLI tools, examples,
+// and committed fixtures. The library itself never rewrites Config.Seed:
+// historically BuildRunSpec silently replaced Seed 0 with 42, which made
+// seed 0 unrunnable and aliased two distinct Configs onto one result —
+// fatal for any cache keyed by a config digest.
+const DefaultSeed int64 = 42
+
+// Canonical returns the normalized form of the configuration: the exact
+// Config that Run executes, with every ignored field zeroed so that two
+// Configs describing the same run compare (and digest) equal, and two
+// Configs describing different runs never collapse onto one form.
+//
+// Normalizations applied:
+//   - Benchmark set → the inline Profile is ignored by Run, so it is
+//     zeroed (a stray Profile must not split the cache key).
+//   - Benchmark of a batch workload → Clients/Requests are server-only
+//     knobs and are zeroed.
+//   - Seed is preserved verbatim; canonical forms are injective over
+//     seeds (seed 0 stays seed 0).
+//
+// Canonical is idempotent. Run and Digest both operate on the canonical
+// form, so cfg and cfg.Canonical() always produce identical results.
+func (c Config) Canonical() Config {
+	if c.Benchmark != "" {
+		c.Profile = Profile{}
+		if p, err := workload.ByName(c.Benchmark); err == nil && p.Class != workload.Server {
+			c.Clients, c.Requests = 0, 0
+		}
+	} else if c.Profile.Class != workload.Server {
+		c.Clients, c.Requests = 0, 0
+	}
+	return c
+}
+
+// Digest returns the canonical configuration digest: a SHA-256 over a
+// field-stable encoding of Canonical(). Equal digests mean "Run would
+// execute the identical simulation", which is what makes digest-keyed
+// response caches (cmd/gcsimd) sound. The encoding is an explicit
+// field-order rendering — no map iteration anywhere — so the digest is
+// byte-stable across processes and repeated calls.
+func (c Config) Digest() string {
+	n := c.Canonical()
+	h := sha256.New()
+	// %#v renders structs in declaration order with explicit field names
+	// and recurses into the nested value-only types (Profile,
+	// objgraph.Params); none of the Config tree contains maps or
+	// pointers, so the rendering is deterministic.
+	fmt.Fprintf(h, "gcsim-config/v1|%#v", n)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Run executes one simulated JVM to completion.
@@ -121,6 +177,7 @@ func Run(cfg Config) (*Result, error) {
 // an event tracer, a metrics registry, a scheduling timeline — before
 // running.
 func BuildRunSpec(cfg Config) (jvm.RunSpec, error) {
+	cfg = cfg.Canonical()
 	p := cfg.Profile
 	if cfg.Benchmark != "" {
 		var err error
@@ -129,10 +186,6 @@ func BuildRunSpec(cfg Config) (jvm.RunSpec, error) {
 			return jvm.RunSpec{}, err
 		}
 	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 42
-	}
 	jcfg := jvm.Config{
 		Profile:   p,
 		Mutators:  cfg.Mutators,
@@ -140,7 +193,7 @@ func BuildRunSpec(cfg Config) (jvm.RunSpec, error) {
 		HeapMB:    cfg.HeapMB,
 		Clients:   cfg.Clients,
 		Requests:  cfg.Requests,
-		Seed:      seed,
+		Seed:      cfg.Seed,
 	}
 	switch cfg.Optimizations {
 	case OptAffinity:
@@ -157,7 +210,7 @@ func BuildRunSpec(cfg Config) (jvm.RunSpec, error) {
 	return jvm.RunSpec{
 		Config:    jcfg,
 		Topo:      topo,
-		Seed:      seed,
+		Seed:      cfg.Seed,
 		BusyLoops: cfg.BusyLoops,
 	}, nil
 }

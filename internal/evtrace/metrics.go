@@ -135,16 +135,35 @@ func (r *Registry) Snap(label string, atNs int64) Snapshot {
 	return s
 }
 
-// values returns every metric sorted by name.
+// values returns every metric sorted by name. Counters and gauges are
+// collected through sorted key slices and merged counter-first, so a
+// counter and a gauge sharing one name have a deterministic order; the
+// former sort.Slice over map-iteration output left that tie to the map's
+// iteration order, which leaked into JSON exports (and any digest over
+// them) as run-to-run byte differences.
 func (r *Registry) values() []Metric {
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges))
-	for name, c := range r.counters {
-		out = append(out, Metric{Name: name, Value: float64(c.v)})
+	cnames := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		cnames = append(cnames, name)
 	}
-	for name, g := range r.gauges {
-		out = append(out, Metric{Name: name, Value: g.v})
+	sort.Strings(cnames)
+	gnames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gnames = append(gnames, name)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Strings(gnames)
+
+	out := make([]Metric, 0, len(cnames)+len(gnames))
+	ci, gi := 0, 0
+	for ci < len(cnames) || gi < len(gnames) {
+		if gi >= len(gnames) || (ci < len(cnames) && cnames[ci] <= gnames[gi]) {
+			out = append(out, Metric{Name: cnames[ci], Value: float64(r.counters[cnames[ci]].v)})
+			ci++
+		} else {
+			out = append(out, Metric{Name: gnames[gi], Value: r.gauges[gnames[gi]].v})
+			gi++
+		}
+	}
 	return out
 }
 

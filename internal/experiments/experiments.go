@@ -356,6 +356,36 @@ func writeCellTrace(dir string, idx int, tr *evtrace.Tracer) error {
 	return err
 }
 
+// GridIndexes enumerates the cross product of axis lengths in row-major
+// order — the last axis varies fastest — which is the deterministic
+// submission-order cell numbering runCells gives a figure's fan-out.
+// cmd/gcsimd's sweep endpoint derives its grid cells through this, so a
+// sweep's cell i means the same configuration on every server and run.
+// Zero-length axes are treated as one-point axes (index 0 = "hold the
+// base value"), so callers can pass only the axes they sweep.
+func GridIndexes(dims []int) [][]int {
+	n := 1
+	eff := make([]int, len(dims))
+	for i, d := range dims {
+		if d <= 0 {
+			d = 1
+		}
+		eff[i] = d
+		n *= d
+	}
+	out := make([][]int, n)
+	for c := 0; c < n; c++ {
+		idx := make([]int, len(eff))
+		rem := c
+		for i := len(eff) - 1; i >= 0; i-- {
+			idx[i] = rem % eff[i]
+			rem /= eff[i]
+		}
+		out[c] = idx
+	}
+	return out
+}
+
 // cell is one simulation of an experiment: a configuration, its seed
 // offset, and the number of interfering busy loops. Cells are independent
 // by construction — each seeds its own simulation from Options.Seed plus

@@ -1,0 +1,122 @@
+package jvm_test
+
+// Scratch reuse must be invisible: a worker's scratch carries arenas and
+// tables from cell to cell, and the service/experiment layers hand it
+// cells of completely different shapes (batch vs server, SMT vs not,
+// different thread counts, heaps, and scales) in whatever order the pool
+// schedules. This test drives mixed-shape cells through a shared
+// runner.Pool with GetScratch/PutScratch recycling and asserts every
+// result is byte-identical to a fresh-scratch run of the same cell.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gclog"
+	"repro/internal/jvm"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// mixedCells is a deliberately heterogeneous set: consecutive pool work
+// items differ in workload class, topology, heap, and thread counts.
+func mixedCells(t *testing.T) []core.Config {
+	t.Helper()
+	withItems := func(name string, items int) workload.Profile {
+		p, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.TotalItems = items
+		return p
+	}
+	return []core.Config{
+		{Profile: withItems("lusearch", 2000), Mutators: 16, GCThreads: 8, Seed: 1},
+		{Profile: withItems("cassandra", 0), Mutators: 8, Clients: 2, Requests: 120, Seed: 2},
+		{Profile: withItems("kmeans", 1200), Mutators: 4, HeapMB: 64, Seed: 3},
+		{Profile: withItems("lusearch", 800), Mutators: 2, GCThreads: 2, SMT: true, Seed: 4},
+		{Profile: withItems("xalan", 1500), Mutators: 12, Optimizations: core.OptAll, Seed: 5},
+		{Profile: withItems("pagerank", 900), Mutators: 6, HeapMB: 200, Seed: 6},
+	}
+}
+
+// runDigest fingerprints everything a run exports: headline totals plus
+// the full gclog JSON export (per-GC phase breakdowns, monitor and steal
+// stats).
+func runDigest(t *testing.T, res *jvm.Result) string {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%v|%v|%v|%d|%d|%d|%d|",
+		res.TotalTime, res.GCTime, res.MutatorTime,
+		res.MinorGCs, res.MajorGCs, res.ItemsDone, res.Rebinds)
+	if err := gclog.WriteRunJSON(&buf, res.Reports, res.Monitor, res.Steal, nil); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+func TestMixedShapeScratchReuseThroughSharedPool(t *testing.T) {
+	cells := mixedCells(t)
+	specs := make([]jvm.RunSpec, len(cells))
+	for i, cfg := range cells {
+		spec, err := core.BuildRunSpec(cfg)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		specs[i] = spec
+	}
+
+	// Reference pass: every cell on a fresh scratch, sequentially.
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		spec.Scratch = new(jvm.Scratch)
+		res, err := jvm.Run(spec)
+		if err != nil {
+			t.Fatalf("fresh cell %d: %v", i, err)
+		}
+		want[i] = runDigest(t, res)
+	}
+
+	// Shared-pool passes: 2 workers, 3 rounds, each round a different
+	// interleaving, scratches recycled across every shape transition.
+	pool := runner.New(2)
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5},
+		{5, 3, 1, 4, 2, 0}, // server cell lands on a scratch warmed by batch cells, and vice versa
+		{2, 5, 0, 4, 1, 3},
+	}
+	for round, order := range orders {
+		got := make([]string, len(specs))
+		errs := make([]error, len(specs))
+		pool.ForEach(len(order), func(k int) {
+			i := order[k]
+			sc, _ := pool.GetScratch().(*jvm.Scratch)
+			if sc == nil {
+				sc = new(jvm.Scratch)
+			}
+			spec := specs[i]
+			spec.Scratch = sc
+			res, err := jvm.Run(spec)
+			pool.PutScratch(sc)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = runDigest(t, res)
+		})
+		for i := range specs {
+			if errs[i] != nil {
+				t.Fatalf("round %d cell %d: %v", round, i, errs[i])
+			}
+			if got[i] != want[i] {
+				t.Errorf("round %d cell %d (seed %d): pooled-scratch run diverges from fresh-scratch run",
+					round, i, cells[i].Seed)
+			}
+		}
+	}
+}
