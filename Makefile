@@ -6,8 +6,8 @@
 GO ?= go
 
 .PHONY: build test race vet fmt-check bench check check-invariants results \
-	bench-smoke bench-baseline bench-compare trace-smoke bench-json \
-	benchjson-smoke serve-smoke
+	bench-smoke bench-guard bench-baseline bench-benchstat bench-compare \
+	trace-smoke bench-json benchjson-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-check: fmt-check vet race check-invariants bench-smoke benchjson-smoke serve-smoke
+check: fmt-check vet race check-invariants bench-smoke bench-guard benchjson-smoke serve-smoke
 
 # Correctness harness: race-test the checker package itself, then run a
 # 32-cell smoke slice of the seed-sweep property harness (a prefix of the
@@ -49,6 +49,23 @@ bench-smoke:
 		-bench 'BenchmarkSimkitSchedule$$|BenchmarkSimkitCancel$$|BenchmarkCoroSwitch$$' \
 		./internal/simkit/
 
+# Zero-allocation guard: the kernel and heap micro-benchmarks must report
+# 0 allocs/op. 1000 iterations amortize one-time setup; any steady-state
+# allocation on these hot paths fails the build before it can show up as a
+# Fig10 regression.
+bench-guard:
+	@out=$$(mktemp); \
+	{ $(GO) test -run XXX -benchtime=1000x -benchmem \
+		-bench 'BenchmarkSimkitSchedule$$|BenchmarkSimkitCancel$$|BenchmarkCoroSwitch$$' \
+		./internal/simkit/ && \
+	  $(GO) test -run XXX -benchtime=1000x -benchmem \
+		-bench 'BenchmarkHeapAlloc$$|BenchmarkMinorGCTrace$$' \
+		./internal/heap/ ; } > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+	cat $$out; \
+	awk '$$NF == "allocs/op" && $$(NF-1)+0 > 0 \
+		{bad=1; print "ALLOC REGRESSION:", $$0} END {exit bad}' $$out; \
+	rc=$$?; rm -f $$out; exit $$rc
+
 # Machine-readable benchmark snapshot: run the tier-1 benchmark subset
 # (simkit kernel micros at full benchtime plus the Fig10 / vanilla /
 # optimized macros at one iteration each) and convert the output to
@@ -62,10 +79,26 @@ bench-json:
 	{ $(GO) test -run XXX -benchmem \
 		-bench 'BenchmarkSimkitSchedule$$|BenchmarkSimkitScheduleDeep$$|BenchmarkSimkitCancel$$|BenchmarkCoroSwitch$$' \
 		./internal/simkit/ ; \
+	  $(GO) test -run XXX -benchmem \
+		-bench 'BenchmarkHeapAlloc$$|BenchmarkMinorGCTrace$$' \
+		./internal/heap/ ; \
 	  $(GO) test -run XXX -benchtime 1x -benchmem \
 		-bench 'BenchmarkFig10$$|BenchmarkVanillaJVM$$|BenchmarkOptimizedJVM$$' . ; } \
 	| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -o $(BENCH_JSON_OUT)
 	@echo "wrote $(BENCH_JSON_OUT)"
+
+# Compare two bench-json snapshots: per-benchmark ns/op, B/op and
+# allocs/op deltas, non-zero exit when any ns/op regression exceeds
+# BENCH_REGRESS percent. Defaults to the two most recent committed
+# snapshots; override with `make bench-compare BENCH_OLD=... BENCH_NEW=...`.
+BENCH_REGRESS ?= 10
+BENCH_OLD ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -2 | head -1)
+BENCH_NEW ?= $(shell ls BENCH_*.json 2>/dev/null | sort | tail -1)
+bench-compare:
+	@if [ -z "$(BENCH_OLD)" ] || [ "$(BENCH_OLD)" = "$(BENCH_NEW)" ]; then \
+		echo "bench-compare: need two BENCH_*.json snapshots (have: $(BENCH_NEW))"; \
+		exit 2; fi
+	$(GO) run ./cmd/benchjson compare -regress $(BENCH_REGRESS) $(BENCH_OLD) $(BENCH_NEW)
 
 # Fast CI gate for the benchmark tooling: the parser's unit tests, then a
 # one-iteration coro-switch micro piped through the real tool.
@@ -76,9 +109,10 @@ benchjson-smoke:
 
 # benchstat workflow: record kernel + macro benchmarks before a change,
 # then compare after. benchstat is optional; without it, diff the files.
+# (For comparing committed bench-json snapshots, see bench-compare above.)
 #   make bench-baseline        # writes bench-baseline.txt
 #   ... hack ...
-#   make bench-compare         # writes bench-new.txt, runs benchstat
+#   make bench-benchstat       # writes bench-new.txt, runs benchstat
 BENCH_PKGS = ./internal/simkit/ .
 BENCH_COUNT ?= 5
 
@@ -86,7 +120,7 @@ bench-baseline:
 	$(GO) test -run XXX -bench . -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
 		| tee bench-baseline.txt
 
-bench-compare:
+bench-benchstat:
 	$(GO) test -run XXX -bench . -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) \
 		| tee bench-new.txt
 	@if command -v benchstat >/dev/null 2>&1; then \

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// agg is one benchmark's aggregated (mean over repeated -count runs)
+// columns from a snapshot.
+type agg struct {
+	ns     float64
+	bytes  *float64
+	allocs *float64
+}
+
+// compareMain implements `benchjson compare OLD.json NEW.json`. It returns
+// the process exit code: 2 on usage or read errors, 1 when a benchmark's
+// ns/op regressed past the -regress threshold, 0 otherwise.
+func compareMain(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	regress := fs.Float64("regress", 10, "fail when any benchmark's ns/op regresses by more than this percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson compare [-regress PCT] OLD.json NEW.json")
+		return 2
+	}
+	oldArt, err := readArtifact(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newArt, err := readArtifact(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldAgg, newAgg := aggregate(oldArt), aggregate(newArt)
+
+	names := make([]string, 0, len(newAgg))
+	for name := range newAgg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tns/op old\tns/op new\tΔ%%\tB/op old\tB/op new\tΔ%%\tallocs/op old\tallocs/op new\tΔ%%\n")
+	failed := []string{}
+	for _, name := range names {
+		n := newAgg[name]
+		o, both := oldAgg[name]
+		if !both {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t(new)\t-\t%s\t\t-\t%s\t\n",
+				name, n.ns, fmtPtr(n.bytes), fmtPtr(n.allocs))
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			name, o.ns, n.ns, fmtDelta(o.ns, n.ns),
+			fmtPtr(o.bytes), fmtPtr(n.bytes), fmtPtrDelta(o.bytes, n.bytes),
+			fmtPtr(o.allocs), fmtPtr(n.allocs), fmtPtrDelta(o.allocs, n.allocs))
+		if o.ns > 0 && (n.ns-o.ns)/o.ns*100 > *regress {
+			failed = append(failed, name)
+		}
+	}
+	for name := range oldAgg {
+		if _, ok := newAgg[name]; !ok {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t(gone)\t\t\t\t\t\t\n", name, oldAgg[name].ns)
+		}
+	}
+	tw.Flush()
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression over %.0f%%: %v\n", *regress, failed)
+		return 1
+	}
+	return 0
+}
+
+func readArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(art.Bench) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &art, nil
+}
+
+// aggregate means repeated -count runs of the same benchmark. Pkg is
+// folded into the key only when two packages share a benchmark name.
+func aggregate(art *Artifact) map[string]agg {
+	type acc struct {
+		ns, bytes, allocs float64
+		n, nb, na         int
+	}
+	accs := map[string]*acc{}
+	for _, r := range art.Bench {
+		a := accs[r.Name]
+		if a == nil {
+			a = &acc{}
+			accs[r.Name] = a
+		}
+		a.ns += r.NsPerOp
+		a.n++
+		if r.BytesPerOp != nil {
+			a.bytes += *r.BytesPerOp
+			a.nb++
+		}
+		if r.AllocsPerOp != nil {
+			a.allocs += *r.AllocsPerOp
+			a.na++
+		}
+	}
+	out := make(map[string]agg, len(accs))
+	for name, a := range accs {
+		g := agg{ns: a.ns / float64(a.n)}
+		if a.nb > 0 {
+			v := a.bytes / float64(a.nb)
+			g.bytes = &v
+		}
+		if a.na > 0 {
+			v := a.allocs / float64(a.na)
+			g.allocs = &v
+		}
+		out[name] = g
+	}
+	return out
+}
+
+func fmtPtr(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", *v)
+}
+
+func fmtDelta(o, n float64) string {
+	if o == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+}
+
+func fmtPtrDelta(o, n *float64) string {
+	if o == nil || n == nil {
+		return "-"
+	}
+	return fmtDelta(*o, *n)
+}

@@ -6,6 +6,15 @@
 // b.ReportMetric column the harness emits (simGC-ms, simPause-ms,
 // minorGCs, tables, jobs, ...). The format is documented in
 // EXPERIMENTS.md.
+//
+// The compare subcommand diffs two such snapshots:
+//
+//	benchjson compare [-regress PCT] OLD.json NEW.json
+//
+// printing per-benchmark ns/op, B/op and allocs/op deltas, and exiting
+// non-zero when any benchmark present in both snapshots regressed its
+// ns/op by more than PCT percent (default 10). `make bench-compare` wires
+// it to the two most recent committed BENCH_<date>.json files.
 package main
 
 import (
@@ -51,6 +60,9 @@ type Artifact struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(compareMain(os.Args[2:], os.Stdout))
+	}
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	force := flag.Bool("force", false, "overwrite an existing -o file (by default an existing snapshot is preserved)")
 	flag.Parse()

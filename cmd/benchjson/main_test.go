@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -108,5 +110,75 @@ func TestParseRejectsGarbage(t *testing.T) {
 		if res, ok := parseLine(line); ok {
 			t.Errorf("parseLine(%q) accepted: %+v", line, res)
 		}
+	}
+}
+
+func writeArtifact(t *testing.T, dir, name string, bench []Result) string {
+	t.Helper()
+	art := Artifact{Schema: "gcsim-bench/v1", Date: "2026-08-08", Bench: bench}
+	data, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fp(v float64) *float64 { return &v }
+
+func TestCompareReportsDeltasAndRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeArtifact(t, dir, "old.json", []Result{
+		{Name: "Fig10", Iterations: 3, NsPerOp: 1000, BytesPerOp: fp(500), AllocsPerOp: fp(50)},
+		{Name: "Fig10", Iterations: 3, NsPerOp: 1200, BytesPerOp: fp(500), AllocsPerOp: fp(50)}, // -count rerun, mean 1100
+		{Name: "Gone", Iterations: 1, NsPerOp: 10},
+	})
+	newPath := writeArtifact(t, dir, "new.json", []Result{
+		{Name: "Fig10", Iterations: 3, NsPerOp: 550, BytesPerOp: fp(250), AllocsPerOp: fp(25)},
+		{Name: "Fresh", Iterations: 1, NsPerOp: 42},
+	})
+
+	var buf bytes.Buffer
+	if code := compareMain([]string{oldPath, newPath}, &buf); code != 0 {
+		t.Fatalf("compare exit = %d, want 0\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig10", "1100", "550", "-50.0%", "(new)", "(gone)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Swapped order: a 100% ns/op regression must fail the default 10% gate.
+	buf.Reset()
+	if code := compareMain([]string{newPath, oldPath}, &buf); code != 1 {
+		t.Errorf("regressed compare exit = %d, want 1\n%s", code, buf.String())
+	}
+	// A generous threshold lets it pass.
+	buf.Reset()
+	if code := compareMain([]string{"-regress", "150", newPath, oldPath}, &buf); code != 0 {
+		t.Errorf("compare -regress 150 exit = %d, want 0\n%s", code, buf.String())
+	}
+}
+
+func TestCompareRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeArtifact(t, dir, "good.json", []Result{{Name: "X", Iterations: 1, NsPerOp: 1}})
+	var buf bytes.Buffer
+	if code := compareMain([]string{good}, &buf); code != 2 {
+		t.Errorf("one-arg compare exit = %d, want 2", code)
+	}
+	if code := compareMain([]string{good, filepath.Join(dir, "missing.json")}, &buf); code != 2 {
+		t.Errorf("missing-file compare exit = %d, want 2", code)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := compareMain([]string{good, bad}, &buf); code != 2 {
+		t.Errorf("bad-json compare exit = %d, want 2", code)
 	}
 }

@@ -47,6 +47,7 @@ type KernelStats struct {
 	ContextSwitches   int
 	BodyResumes       int // coroutine resumes (Coro.Next) across all threads
 	PlanElisions      int // compute-plan slices serviced without resuming a body
+	BurstElisions     int // callback-plan (ComputePlan) slices serviced driver-side
 }
 
 type timerKind int
@@ -276,19 +277,7 @@ func (c *core) onTimer(kind timerKind) {
 	c.account(now)
 	switch {
 	case kind == timerComplete || t.remaining <= 0:
-		if t.planLeft != 0 {
-			// The finished slice belongs to a compute plan with slices to
-			// go: start the next one from the driver side. The timer and
-			// accounting sequence is exactly what a body-yielded Compute
-			// would produce (any sub-slice accounting residue is discarded,
-			// as advance does via remaining = 0 → remaining = d); only the
-			// coroutine round trip is elided.
-			if t.planLeft > 0 {
-				t.planLeft--
-			}
-			t.remaining = t.planSlice
-			k.Stats.PlanElisions++
-			c.reprogram()
+		if c.planContinue(t) {
 			return
 		}
 		// Work done: ask the body for its next request.
@@ -422,7 +411,54 @@ func (c *core) pickNext() {
 		c.reprogram()
 		return
 	}
+	// A plan thread dispatched with its slice already exhausted continues
+	// its plan driver-side, exactly as the completion timer would.
+	if c.planContinue(t) {
+		return
+	}
 	k.advance(t)
+}
+
+// planContinue starts the current thread's next compute-plan slice from the
+// driver side, if it has one. The timer and accounting sequence is exactly
+// what a body-yielded Compute would produce (any sub-slice accounting
+// residue is discarded, as advance does via remaining = 0 → remaining = d);
+// only the coroutine round trip is elided. Returns false when the thread
+// has no plan (the caller resumes the body instead).
+func (c *core) planContinue(t *Thread) bool {
+	k := c.k
+	if t.planLeft != 0 {
+		if t.planLeft > 0 {
+			t.planLeft--
+		}
+		t.remaining = t.planSlice
+		k.Stats.PlanElisions++
+		c.reprogram()
+		return true
+	}
+	if fn := t.planFn; fn != nil {
+		// The callback acts on the thread's behalf (it may Unpark waiters,
+		// whose wake-affine placement consults the waker), so it runs with
+		// the thread active, exactly like the body it replaces.
+		prev := k.active
+		k.active = t
+		for {
+			d, ok := fn()
+			if !ok {
+				break
+			}
+			if d > 0 {
+				k.active = prev
+				t.remaining = d
+				k.Stats.BurstElisions++
+				c.reprogram()
+				return true
+			}
+		}
+		k.active = prev
+		t.planFn = nil
+	}
+	return false
 }
 
 // siblingCheckpoint accounts the SMT sibling's current thread at the speed
@@ -451,7 +487,7 @@ func (k *Kernel) advance(t *Thread) {
 	}
 	for {
 		t.remaining = 0
-		t.planSlice, t.planLeft = 0, 0
+		t.planSlice, t.planLeft, t.planFn = 0, 0, nil
 		prev := k.active
 		k.active = t
 		k.Stats.BodyResumes++
@@ -471,6 +507,7 @@ func (k *Kernel) advance(t *Thread) {
 			} else if req.n < 0 {
 				t.planSlice, t.planLeft = req.d, -1
 			}
+			t.planFn = req.fn
 			c.reprogram()
 			return
 		case reqSleep:

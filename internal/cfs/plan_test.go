@@ -208,3 +208,86 @@ func TestComputeForeverMatchesBusyLoop(t *testing.T) {
 			loop.stats.BodyResumes, plan.stats.BodyResumes)
 	}
 }
+
+// TestComputePlanCallbackMatchesLoop checks the callback-plan form against
+// the equivalent Compute loop: varying slice durations, zero-length slices
+// (skipped like Compute(0)), and driver-side work between slices must leave
+// every observable identical while eliding the per-slice resumes.
+func TestComputePlanCallbackMatchesLoop(t *testing.T) {
+	const n = 120
+	slices := func(i int) simkit.Time {
+		switch i % 4 {
+		case 0:
+			return 50 * simkit.Nanosecond
+		case 1:
+			return 0 // must be skipped, like Compute(0)
+		case 2:
+			return 2 * ms
+		default:
+			return 700 * simkit.Microsecond
+		}
+	}
+	for _, tc := range []struct {
+		name       string
+		competitor bool
+	}{
+		{"uncontended", false},
+		{"preempted-mid-plan", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var loopSum, planSum int64
+			loop := planScenario(t, tc.competitor, func(e *Env) {
+				for i := 0; i < n; i++ {
+					loopSum += int64(i) // between-slice work
+					e.Compute(slices(i))
+				}
+			})
+			plan := planScenario(t, tc.competitor, func(e *Env) {
+				i := 0
+				e.ComputePlan(func() (simkit.Time, bool) {
+					if i >= n {
+						return 0, false
+					}
+					planSum += int64(i)
+					d := slices(i)
+					i++
+					return d, true
+				})
+			})
+
+			if loopSum != planSum {
+				t.Errorf("between-slice work diverged: loop %d, plan %d", loopSum, planSum)
+			}
+			if loop.end != plan.end {
+				t.Errorf("end time diverged: loop %v, plan %v", loop.end, plan.end)
+			}
+			if loop.cpu != plan.cpu || loop.vrun != plan.vrun {
+				t.Errorf("accounting diverged: loop cpu=%v vrun=%v, plan cpu=%v vrun=%v",
+					loop.cpu, loop.vrun, plan.cpu, plan.vrun)
+			}
+			if loop.compCPU != plan.compCPU {
+				t.Errorf("competitor CPU diverged: loop %v, plan %v", loop.compCPU, plan.compCPU)
+			}
+			if loop.fired != plan.fired {
+				t.Errorf("fired-event count diverged: loop %d, plan %d", loop.fired, plan.fired)
+			}
+			if !reflect.DeepEqual(loop.events, plan.events) {
+				i := 0
+				for i < len(loop.events) && i < len(plan.events) &&
+					loop.events[i] == plan.events[i] {
+					i++
+				}
+				t.Fatalf("event streams diverged at index %d of %d/%d:\nloop: %+v\nplan: %+v",
+					i, len(loop.events), len(plan.events),
+					at(loop.events, i), at(plan.events, i))
+			}
+			// 90 positive slices; all but the first elide a resume.
+			if got := plan.stats.BurstElisions; got != 89 {
+				t.Errorf("BurstElisions = %d, want 89", got)
+			}
+			if loop.stats.BurstElisions != 0 {
+				t.Errorf("loop run recorded %d BurstElisions, want 0", loop.stats.BurstElisions)
+			}
+		})
+	}
+}

@@ -49,6 +49,7 @@ func (s State) String() string {
 type request struct {
 	d    simkit.Time // compute or sleep duration
 	n    int32       // compute slice count: 0/1 single, >1 plan, <0 endless
+	fn   PlanFn      // callback plan: produces follow-on slices driver-side
 	kind reqKind
 }
 
@@ -81,8 +82,11 @@ type Thread struct {
 	// non-zero, the kernel starts the next planSlice-long slice itself
 	// instead of resuming the body (planLeft < 0 means endless). Preemption
 	// and migration leave the plan intact; it resumes with the thread.
+	// planFn is the callback form (ComputePlan): consulted for the next
+	// slice each time one completes, until it reports the plan done.
 	planSlice simkit.Time
 	planLeft  int32
+	planFn    PlanFn
 
 	dispatchedAt simkit.Time // when the current stint on CPU began
 	lastAccount  simkit.Time // last time CPU accounting ran for this thread
@@ -176,6 +180,38 @@ func (e *Env) ComputeForever(d simkit.Time) {
 	}
 	e.yield(request{d: d, n: -1, kind: reqCompute})
 	panic("cfs: ComputeForever resumed") // unreachable: only Stop unwinds it
+}
+
+// PlanFn produces the slices of a callback compute plan. Each call returns
+// the next slice's duration and true, or false when the plan is finished.
+// The kernel calls it from the driver side (inside the completion timer of
+// the previous slice), so it runs at exactly the virtual time the body
+// would have resumed at — it may therefore read and write simulation state
+// (draw from the Sim RNG, take fast-path locks, allocate) exactly as the
+// body would, but it must not block: anything that needs Park/Sleep/a
+// contended lock ends the plan with false and lets the body take over.
+// Slices must be positive; a non-positive duration is skipped and the plan
+// is consulted again, mirroring how Compute treats d <= 0 as a no-op.
+type PlanFn func() (simkit.Time, bool)
+
+// ComputePlan runs a callback compute plan: fn is consulted for each slice
+// in turn, and the kernel services the follow-on slices driver-side — the
+// same timer events, vruntime accounting and preemption as the equivalent
+// chain of Compute calls, without resuming the body between slices. It
+// returns once fn reports the plan done. Use it when the work *between*
+// slices is simple enough to run from the driver (bump a counter, check a
+// flag, try an allocation); see ComputeN for the fixed-shape variant.
+func (e *Env) ComputePlan(fn PlanFn) {
+	for {
+		d, ok := fn()
+		if !ok {
+			return
+		}
+		if d > 0 {
+			e.yield(request{d: d, fn: fn, kind: reqCompute})
+			return
+		}
+	}
 }
 
 // Sleep blocks the thread for d nanoseconds of virtual time.

@@ -1,0 +1,100 @@
+package heap
+
+import "testing"
+
+// BenchmarkHeapAlloc measures the eden allocation hot path — slot reuse,
+// SoA bookkeeping and the shared refs arena — the per-cluster cost every
+// mutator burst pays. Eden wipes (scavenge with no roots) run off the
+// timer.
+func BenchmarkHeapAlloc(b *testing.B) {
+	h, err := New(Config{
+		EdenBytes:     8 << 20,
+		SurvivorBytes: 1 << 20,
+		OldBytes:      1 << 30,
+		TenureAge:     15,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var prev, prev2 ObjID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, ok := h.Alloc(128, prev, prev2)
+		if !ok {
+			b.StopTimer()
+			h.BeginMinorGC()
+			h.FinishMinorGC()
+			prev, prev2 = 0, 0
+			b.StartTimer()
+			id, _ = h.Alloc(128, prev, prev2)
+		}
+		prev2, prev = prev, id
+	}
+}
+
+// BenchmarkMinorGCTrace measures one scavenge of a fixed young working set:
+// the CopyYoung transitive trace plus the FinishMinorGC sweep — the
+// per-pause cost driver behind the Fig10 GC columns. The working set is
+// rebuilt off the timer each iteration (TenureAge 1 promotes every
+// survivor, so from-space stays empty and iterations stay identical); a
+// rootless major GC wipes the accumulated old generation off the timer
+// whenever it grows large.
+func BenchmarkMinorGCTrace(b *testing.B) {
+	const objects = 2048
+	h, err := New(Config{
+		EdenBytes:     1 << 20,
+		SurvivorBytes: 1 << 20,
+		OldBytes:      1 << 30,
+		TenureAge:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	roots := make([]ObjID, 0, objects/8)
+	work := make([]ObjID, 0, objects)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, _, old := h.Usage(); old > 256<<20 {
+			h.BeginMajorGC()
+			h.FinishMajorGC()
+		}
+		// Chains of 8: one root per chain, the rest reached by tracing.
+		roots = roots[:0]
+		var prev ObjID
+		for j := 0; j < objects; j++ {
+			var id ObjID
+			var ok bool
+			if j%8 == 0 {
+				id, ok = h.Alloc(128)
+			} else {
+				id, ok = h.Alloc(128, prev)
+			}
+			if !ok {
+				b.Fatal("eden full during setup")
+			}
+			if j%8 == 7 {
+				roots = append(roots, id)
+			}
+			prev = id
+		}
+		b.StartTimer()
+
+		h.BeginMinorGC()
+		work = append(work[:0], roots...)
+		for len(work) > 0 {
+			id := work[len(work)-1]
+			work = work[:len(work)-1]
+			if _, _, first := h.CopyYoung(id); first {
+				for _, c := range h.Refs(id) {
+					if c != 0 && !h.Visited(c) {
+						work = append(work, c)
+					}
+				}
+			}
+		}
+		h.FinishMinorGC()
+	}
+}

@@ -8,6 +8,13 @@
 // collector still pays the copying *cost* (the cost model lives in package
 // pscavenge); what matters for fidelity here is the reachability and
 // promotion behaviour, which is real.
+//
+// Layout: the object table is a structure of arrays. Every per-object field
+// lives in its own parallel slice indexed by ObjID, and outgoing references
+// live in one shared arena addressed by (offset, length, capacity) triples
+// rather than per-object Go slices. GC tracing therefore walks cache-linear
+// memory, and — because the table holds no pointers — the *host* Go GC never
+// scans the simulated heaps at all. See DESIGN.md §7.
 package heap
 
 import "fmt"
@@ -47,19 +54,6 @@ func (s Space) String() string {
 	return fmt.Sprintf("Space(%d)", uint8(s))
 }
 
-// Object is a heap object. Size is in (model) bytes. Node is the NUMA
-// node whose memory backs the object (set from the allocating thread's
-// node; updated when a GC thread copies it).
-type Object struct {
-	Size  int32
-	Age   uint8
-	Space Space
-	Node  uint8
-	Refs  []ObjID
-	InRS  bool   // old object registered in the remembered set
-	mark  uint32 // GC epoch visited stamp
-}
-
 // Config sizes the heap. All byte figures are model bytes.
 type Config struct {
 	EdenBytes     int64
@@ -89,13 +83,37 @@ type Stats struct {
 	FreedYoungBytes  int64
 	FreedOldBytes    int64
 	BarrierHits      int64 // old→young pointer stores (remembered-set adds)
+	RefCompactions   int64 // refs-arena compactions (GC-time housekeeping)
 }
 
 // Heap is a generational heap instance. It is not safe for concurrent use;
 // within the simulation, GC threads interleave deterministically.
 type Heap struct {
-	cfg  Config
-	objs []Object
+	cfg Config
+
+	// Object table, structure-of-arrays: index i holds object i's fields.
+	// Slot 0 is the nil object. None of these slices contain Go pointers,
+	// so the host GC skips them entirely.
+	size  []int32
+	age   []uint8
+	space []Space
+	node  []uint8 // NUMA node backing the object's memory
+	mark  []uint32
+	inRS  []bool // old object registered in the remembered set
+
+	// Outgoing references: object i's refs are refs[refOff[i] :
+	// refOff[i]+refLen[i]], with refCap[i] arena slots reserved at refOff[i].
+	// Blocks are allocated at the arena tail and relocated (doubling) when
+	// they outgrow their reservation; dead blocks are reclaimed by
+	// compactRefs at GC boundaries.
+	refOff []uint32
+	refLen []uint32
+	refCap []uint32
+	refs   []ObjID
+
+	refsLive int64   // sum of refLen over live objects (compaction trigger)
+	refsBack []ObjID // spare arena buffer, swapped in by compactRefs
+
 	free []ObjID
 
 	edenUsed, fromUsed, toUsed, oldUsed int64
@@ -120,14 +138,23 @@ func New(cfg Config) (*Heap, error) {
 	return NewWith(cfg, nil)
 }
 
-// Scratch holds a retired heap's backing arrays (the object table, free
-// list, and per-space index slices) for reuse by a later NewWith. The
-// object table is the largest single allocation of a simulation cell —
-// millions of Object records per run — so recycling it per worker is the
-// bulk of the experiment runner's steady-state allocation savings. The
-// zero value is ready to use.
+// Scratch holds a retired heap's backing arrays (the SoA object table, refs
+// arena, free list, and per-space index slices) for reuse by a later
+// NewWith. The object table and arena are the largest allocations of a
+// simulation cell — millions of object records per run — so recycling them
+// per worker is the bulk of the experiment runner's steady-state allocation
+// savings. The zero value is ready to use.
 type Scratch struct {
-	objs []Object
+	size  []int32
+	age   []uint8
+	space []Space
+	node  []uint8
+	mark  []uint32
+	inRS  []bool
+
+	refOff, refLen, refCap []uint32
+	refs, refsBack         []ObjID
+
 	free []ObjID
 
 	eden, from, to, old, remembered []ObjID
@@ -144,30 +171,49 @@ func NewWith(cfg Config, sc *Scratch) (*Heap, error) {
 		return nil, err
 	}
 	h := &Heap{cfg: cfg}
-	if sc != nil && cap(sc.objs) > 0 {
-		h.objs = sc.objs[:1]
-		h.objs[0] = Object{Refs: h.objs[0].Refs[:0]} // slot 0 is the nil object
+	if sc != nil && cap(sc.size) > 0 {
+		h.size = append(sc.size[:0], 0) // slot 0 is the nil object
+		h.age = append(sc.age[:0], 0)
+		h.space = append(sc.space[:0], SpaceNone)
+		h.node = append(sc.node[:0], 0)
+		h.mark = append(sc.mark[:0], 0)
+		h.inRS = append(sc.inRS[:0], false)
+		h.refOff = append(sc.refOff[:0], 0)
+		h.refLen = append(sc.refLen[:0], 0)
+		h.refCap = append(sc.refCap[:0], 0)
+		h.refs, h.refsBack = sc.refs[:0], sc.refsBack[:0]
 		h.free = sc.free[:0]
 		h.eden, h.from, h.to = sc.eden[:0], sc.from[:0], sc.to[:0]
 		h.old, h.remembered = sc.old[:0], sc.remembered[:0]
 		*sc = Scratch{}
 	} else {
-		h.objs = make([]Object, 1, 1024) // slot 0 is the nil object
+		h.size = make([]int32, 1, 1024)
+		h.age = make([]uint8, 1, 1024)
+		h.space = make([]Space, 1, 1024)
+		h.node = make([]uint8, 1, 1024)
+		h.mark = make([]uint32, 1, 1024)
+		h.inRS = make([]bool, 1, 1024)
+		h.refOff = make([]uint32, 1, 1024)
+		h.refLen = make([]uint32, 1, 1024)
+		h.refCap = make([]uint32, 1, 1024)
 	}
 	return h, nil
 }
 
 // Reclaim harvests the heap's backing arrays into sc for a later NewWith.
-// The heap is unusable afterwards. Object records keep their Refs backing
-// arrays (ObjIDs, not pointers — nothing is retained through them), which
-// NewWith's resurrect path reuses.
+// The heap is unusable afterwards. Everything is ObjIDs and scalars — no
+// pointers — so truncation alone recycles the storage.
 func (h *Heap) Reclaim(sc *Scratch) {
-	sc.objs = h.objs[:0]
-	sc.free = h.free[:0]
-	sc.eden, sc.from, sc.to = h.eden[:0], h.from[:0], h.to[:0]
-	sc.old, sc.remembered = h.old[:0], h.remembered[:0]
-	h.objs, h.free = nil, nil
-	h.eden, h.from, h.to, h.old, h.remembered = nil, nil, nil, nil, nil
+	*sc = Scratch{
+		size: h.size[:0], age: h.age[:0], space: h.space[:0],
+		node: h.node[:0], mark: h.mark[:0], inRS: h.inRS[:0],
+		refOff: h.refOff[:0], refLen: h.refLen[:0], refCap: h.refCap[:0],
+		refs: h.refs[:0], refsBack: h.refsBack[:0],
+		free: h.free[:0],
+		eden: h.eden[:0], from: h.from[:0], to: h.to[:0],
+		old: h.old[:0], remembered: h.remembered[:0],
+	}
+	*h = Heap{cfg: h.cfg}
 }
 
 // Config returns the heap's configuration.
@@ -189,8 +235,40 @@ func (h *Heap) SetConfig(cfg Config) error {
 // Usage returns current occupancy of eden, from-survivor and old spaces.
 func (h *Heap) Usage() (eden, from, old int64) { return h.edenUsed, h.fromUsed, h.oldUsed }
 
-// Get returns the object for id. The pointer is invalidated by frees.
-func (h *Heap) Get(id ObjID) *Object { return &h.objs[id] }
+// --- Per-object accessors --------------------------------------------------
+
+// Refs returns object id's outgoing references as a view into the shared
+// arena. The view is invalidated by any operation that can grow or compact
+// the arena (Alloc, AllocOld, AddRef, FinishMinorGC, FinishMajorGC); don't
+// hold it across those. In-place writes through the view are visible to the
+// heap (TrimAnchor-style filtering relies on this).
+func (h *Heap) Refs(id ObjID) []ObjID {
+	off := h.refOff[id]
+	return h.refs[off : off+h.refLen[id] : off+h.refCap[id]]
+}
+
+// RefLen returns the number of outgoing references of id without
+// materializing the view.
+func (h *Heap) RefLen(id ObjID) int { return int(h.refLen[id]) }
+
+// SizeOf returns object id's size in model bytes.
+func (h *Heap) SizeOf(id ObjID) int32 { return h.size[id] }
+
+// AgeOf returns object id's age (minor GCs survived).
+func (h *Heap) AgeOf(id ObjID) uint8 { return h.age[id] }
+
+// SpaceOf returns the space object id currently lives in.
+func (h *Heap) SpaceOf(id ObjID) Space { return h.space[id] }
+
+// NodeOf returns the NUMA node whose memory backs object id.
+func (h *Heap) NodeOf(id ObjID) uint8 { return h.node[id] }
+
+// SetNode retags object id's backing NUMA node (a GC thread copying the
+// object to its own node's memory).
+func (h *Heap) SetNode(id ObjID, node uint8) { h.node[id] = node }
+
+// InRS reports whether old object id is registered in the remembered set.
+func (h *Heap) InRS(id ObjID) bool { return h.inRS[id] }
 
 // LiveObjects returns the number of live (non-free) objects.
 func (h *Heap) LiveObjects() int {
@@ -223,8 +301,7 @@ func (h *Heap) Alloc(size int32, refs ...ObjID) (ObjID, bool) {
 	id := h.newObject(size, SpaceEden)
 	h.eden = append(h.eden, id)
 	h.edenUsed += int64(size)
-	o := &h.objs[id]
-	o.Refs = append(o.Refs, refs...)
+	h.initRefs(id, refs)
 	return id, true
 }
 
@@ -240,9 +317,8 @@ func (h *Heap) AllocOld(size int32, refs ...ObjID) (ObjID, bool) {
 	id := h.newObject(size, SpaceOld)
 	h.old = append(h.old, id)
 	h.oldUsed += int64(size)
-	o := &h.objs[id]
+	h.initRefs(id, refs)
 	for _, r := range refs {
-		o.Refs = append(o.Refs, r)
 		h.barrier(id, r)
 	}
 	return id, true
@@ -251,24 +327,71 @@ func (h *Heap) AllocOld(size int32, refs ...ObjID) (ObjID, bool) {
 func (h *Heap) newObject(size int32, sp Space) ObjID {
 	var id ObjID
 	if n := len(h.free); n > 0 {
+		// A recycled slot keeps its refs-arena reservation (refOff/refCap,
+		// with refLen already zeroed by release) — the moral equivalent of
+		// the old per-object Refs[:0] reuse.
 		id = h.free[n-1]
 		h.free = h.free[:n-1]
-		o := &h.objs[id]
-		*o = Object{Size: size, Space: sp, Node: h.allocNode, Refs: o.Refs[:0]}
-	} else if len(h.objs) < cap(h.objs) {
-		// Growing into capacity adopted from a Scratch: resurrect the stale
-		// record like a free-list slot, keeping its Refs backing array.
-		h.objs = h.objs[:len(h.objs)+1]
-		id = ObjID(len(h.objs) - 1)
-		o := &h.objs[id]
-		*o = Object{Size: size, Space: sp, Node: h.allocNode, Refs: o.Refs[:0]}
 	} else {
-		h.objs = append(h.objs, Object{Size: size, Space: sp, Node: h.allocNode})
-		id = ObjID(len(h.objs) - 1)
+		id = ObjID(len(h.size))
+		h.size = append(h.size, 0)
+		h.age = append(h.age, 0)
+		h.space = append(h.space, SpaceNone)
+		h.node = append(h.node, 0)
+		h.mark = append(h.mark, 0)
+		h.inRS = append(h.inRS, false)
+		h.refOff = append(h.refOff, 0)
+		h.refLen = append(h.refLen, 0)
+		h.refCap = append(h.refCap, 0)
 	}
+	h.size[id] = size
+	h.age[id] = 0
+	h.space[id] = sp
+	h.node[id] = h.allocNode
+	h.mark[id] = 0
+	h.inRS[id] = false
 	h.Stats.AllocatedObjects++
 	h.Stats.AllocatedBytes += int64(size)
 	return id
+}
+
+// initRefs installs a fresh object's initial reference list.
+func (h *Heap) initRefs(id ObjID, refs []ObjID) {
+	n := uint32(len(refs))
+	if n == 0 {
+		return
+	}
+	if h.refCap[id] < n {
+		h.growRefs(id, n)
+	}
+	copy(h.refs[h.refOff[id]:], refs)
+	h.refLen[id] = n
+	h.refsLive += int64(n)
+}
+
+// growRefs relocates id's reference block to the arena tail with capacity
+// at least need (amortized doubling). Existing refs are carried over.
+func (h *Heap) growRefs(id ObjID, need uint32) {
+	newCap := h.refCap[id] * 2
+	if newCap < need {
+		newCap = need
+	}
+	if newCap < 4 {
+		newCap = 4
+	}
+	off := uint32(len(h.refs))
+	total := int(off) + int(newCap)
+	if total > cap(h.refs) {
+		grown := make([]ObjID, total, max(total, 2*cap(h.refs)))
+		copy(grown, h.refs)
+		h.refs = grown
+	} else {
+		h.refs = h.refs[:total]
+	}
+	if n := h.refLen[id]; n > 0 {
+		copy(h.refs[off:off+n], h.refs[h.refOff[id]:h.refOff[id]+n])
+	}
+	h.refOff[id], h.refCap[id] = off, newCap
 }
 
 // AddRef appends a reference from parent to child, applying the write
@@ -277,15 +400,30 @@ func (h *Heap) AddRef(parent, child ObjID) {
 	if parent == 0 || child == 0 {
 		return
 	}
-	p := &h.objs[parent]
-	p.Refs = append(p.Refs, child)
+	h.appendRef(parent, child)
 	h.barrier(parent, child)
 }
 
+func (h *Heap) appendRef(parent, child ObjID) {
+	if h.refLen[parent] == h.refCap[parent] {
+		h.growRefs(parent, h.refLen[parent]+1)
+	}
+	h.refs[h.refOff[parent]+h.refLen[parent]] = child
+	h.refLen[parent]++
+	h.refsLive++
+}
+
+// AddRefUnsafe appends a reference without applying the write barrier. It
+// exists so tests can corrupt the heap deliberately (VerifyHeap coverage);
+// simulation code must use AddRef.
+func (h *Heap) AddRefUnsafe(parent, child ObjID) { h.appendRef(parent, child) }
+
 // SetRef overwrites reference slot i of parent, applying the write barrier.
 func (h *Heap) SetRef(parent ObjID, i int, child ObjID) {
-	p := &h.objs[parent]
-	p.Refs[i] = child
+	if uint32(i) >= h.refLen[parent] {
+		panic("heap: SetRef index out of range")
+	}
+	h.refs[h.refOff[parent]+uint32(i)] = child
 	if child != 0 {
 		h.barrier(parent, child)
 	}
@@ -297,17 +435,27 @@ func (h *Heap) ClearRefs(id ObjID) {
 	if id == 0 {
 		return
 	}
-	h.objs[id].Refs = h.objs[id].Refs[:0]
+	h.refsLive -= int64(h.refLen[id])
+	h.refLen[id] = 0
+}
+
+// TruncateRefs keeps only the first n outgoing references of id. Callers
+// that filter a Refs view in place finish with this (see
+// objgraph.TrimAnchor).
+func (h *Heap) TruncateRefs(id ObjID, n int) {
+	if uint32(n) > h.refLen[id] {
+		panic("heap: TruncateRefs beyond current length")
+	}
+	h.refsLive -= int64(h.refLen[id]) - int64(n)
+	h.refLen[id] = uint32(n)
 }
 
 func (h *Heap) barrier(parent, child ObjID) {
-	p := &h.objs[parent]
-	if p.Space != SpaceOld || p.InRS {
+	if h.space[parent] != SpaceOld || h.inRS[parent] {
 		return
 	}
-	c := &h.objs[child]
-	if c.Space == SpaceEden || c.Space == SpaceFrom || c.Space == SpaceTo {
-		p.InRS = true
+	if sp := h.space[child]; sp == SpaceEden || sp == SpaceFrom || sp == SpaceTo {
+		h.inRS[parent] = true
 		h.remembered = append(h.remembered, parent)
 		h.Stats.BarrierHits++
 	}
@@ -322,19 +470,18 @@ func (h *Heap) RememberedSet() []ObjID { return h.remembered }
 func (h *Heap) AgeTable() []int64 {
 	table := make([]int64, 16)
 	for _, id := range h.from {
-		o := &h.objs[id]
-		age := int(o.Age)
+		age := int(h.age[id])
 		if age > 15 {
 			age = 15
 		}
-		table[age] += int64(o.Size)
+		table[age] += int64(h.size[id])
 	}
 	return table
 }
 
 // young reports whether an object currently lives in the young generation.
 func (h *Heap) young(id ObjID) bool {
-	sp := h.objs[id].Space
+	sp := h.space[id]
 	return sp == SpaceEden || sp == SpaceFrom
 }
 
@@ -353,7 +500,7 @@ func (h *Heap) BeginMinorGC() {
 }
 
 // Visited reports whether id was already processed in this GC cycle.
-func (h *Heap) Visited(id ObjID) bool { return h.objs[id].mark == h.epoch }
+func (h *Heap) Visited(id ObjID) bool { return h.mark[id] == h.epoch }
 
 // CopyYoung processes one young object during a scavenge: it "copies" the
 // object to the to-space (incrementing its age) or promotes it to the old
@@ -364,40 +511,40 @@ func (h *Heap) CopyYoung(id ObjID) (size int32, promoted, first bool) {
 	if !h.inMinorGC {
 		panic("heap: CopyYoung outside a minor GC")
 	}
-	o := &h.objs[id]
-	if o.mark == h.epoch {
-		return o.Size, o.Space == SpaceOld, false
+	if h.mark[id] == h.epoch {
+		return h.size[id], h.space[id] == SpaceOld, false
 	}
-	if o.Space != SpaceEden && o.Space != SpaceFrom {
+	if sp := h.space[id]; sp != SpaceEden && sp != SpaceFrom {
 		// Old (or already-moved) objects are not scavenged.
-		o.mark = h.epoch
-		return o.Size, o.Space == SpaceOld, false
+		h.mark[id] = h.epoch
+		return h.size[id], sp == SpaceOld, false
 	}
-	o.mark = h.epoch
-	sz := int64(o.Size)
-	if o.Age+1 >= h.cfg.TenureAge || h.toUsed+sz > h.cfg.SurvivorBytes {
+	h.mark[id] = h.epoch
+	sz := int64(h.size[id])
+	if h.age[id]+1 >= h.cfg.TenureAge || h.toUsed+sz > h.cfg.SurvivorBytes {
 		// Promote. The old generation may transiently overflow; the
 		// caller watches OldOccupancy and schedules a major GC.
-		o.Space = SpaceOld
-		o.Age = 0
+		h.space[id] = SpaceOld
+		h.age[id] = 0
 		h.old = append(h.old, id)
 		h.oldUsed += sz
 		h.Stats.PromotedObjects++
 		h.Stats.PromotedBytes += sz
 		// A promoted object with young children must enter the RS.
-		for _, r := range o.Refs {
+		off, n := h.refOff[id], h.refLen[id]
+		for _, r := range h.refs[off : off+n] {
 			if r != 0 {
 				h.barrier(id, r)
 			}
 		}
-		return o.Size, true, true
+		return h.size[id], true, true
 	}
-	o.Space = SpaceTo
-	o.Age++
+	h.space[id] = SpaceTo
+	h.age[id]++
 	h.to = append(h.to, id)
 	h.toUsed += sz
 	h.Stats.SurvivedObjects++
-	return o.Size, false, true
+	return h.size[id], false, true
 }
 
 // FinishMinorGC sweeps eden and the from-space (everything unvisited is
@@ -409,14 +556,14 @@ func (h *Heap) FinishMinorGC() int64 {
 	}
 	var freed int64
 	for _, id := range h.eden {
-		if o := &h.objs[id]; o.Space == SpaceEden {
-			freed += int64(o.Size)
+		if h.space[id] == SpaceEden {
+			freed += int64(h.size[id])
 			h.release(id)
 		}
 	}
 	for _, id := range h.from {
-		if o := &h.objs[id]; o.Space == SpaceFrom {
-			freed += int64(o.Size)
+		if h.space[id] == SpaceFrom {
+			freed += int64(h.size[id])
 			h.release(id)
 		}
 	}
@@ -424,7 +571,7 @@ func (h *Heap) FinishMinorGC() int64 {
 	h.edenUsed = 0
 	// Swap semispaces: to becomes from.
 	for _, id := range h.to {
-		h.objs[id].Space = SpaceFrom
+		h.space[id] = SpaceFrom
 	}
 	h.from, h.to = h.to, h.from[:0]
 	h.fromUsed = h.toUsed
@@ -432,6 +579,7 @@ func (h *Heap) FinishMinorGC() int64 {
 	h.Stats.FreedYoungBytes += freed
 	h.pruneRememberedSet()
 	h.inMinorGC = false
+	h.maybeCompactRefs()
 	return freed
 }
 
@@ -440,13 +588,13 @@ func (h *Heap) FinishMinorGC() int64 {
 func (h *Heap) pruneRememberedSet() {
 	live := h.remembered[:0]
 	for _, id := range h.remembered {
-		o := &h.objs[id]
-		if o.Space != SpaceOld {
-			o.InRS = false
+		if h.space[id] != SpaceOld {
+			h.inRS[id] = false
 			continue
 		}
 		keep := false
-		for _, r := range o.Refs {
+		off, n := h.refOff[id], h.refLen[id]
+		for _, r := range h.refs[off : off+n] {
 			if r != 0 && h.young(r) {
 				keep = true
 				break
@@ -455,10 +603,47 @@ func (h *Heap) pruneRememberedSet() {
 		if keep {
 			live = append(live, id)
 		} else {
-			o.InRS = false
+			h.inRS[id] = false
 		}
 	}
 	h.remembered = live
+}
+
+// --- Refs-arena compaction -------------------------------------------------
+
+// maybeCompactRefs compacts the shared refs arena when dead and
+// over-reserved blocks dominate it. It runs only at GC boundaries — a
+// deterministic point where no Refs views are outstanding — so arena
+// housekeeping is invisible to the simulation.
+func (h *Heap) maybeCompactRefs() {
+	if int64(len(h.refs)) > 4*h.refsLive+4096 {
+		h.compactRefs()
+	}
+}
+
+// compactRefs rewrites every live object's reference block contiguously
+// into the spare arena buffer and swaps it in. Reservations shrink to the
+// live length; free slots lose their (now dangling) reservations.
+func (h *Heap) compactRefs() {
+	dst := h.refsBack[:0]
+	for _, list := range [][]ObjID{h.eden, h.from, h.to, h.old} {
+		for _, id := range list {
+			n := h.refLen[id]
+			if n == 0 {
+				h.refOff[id], h.refCap[id] = 0, 0
+				continue
+			}
+			off := h.refOff[id]
+			newOff := uint32(len(dst))
+			dst = append(dst, h.refs[off:off+n]...)
+			h.refOff[id], h.refCap[id] = newOff, n
+		}
+	}
+	for _, id := range h.free {
+		h.refOff[id], h.refLen[id], h.refCap[id] = 0, 0, 0
+	}
+	h.refs, h.refsBack = dst, h.refs[:0]
+	h.Stats.RefCompactions++
 }
 
 // --- Major (full) GC support ----------------------------------------------
@@ -470,12 +655,11 @@ func (h *Heap) BeginMajorGC() {
 
 // Mark marks one object live in the major GC, returning (size, first visit).
 func (h *Heap) Mark(id ObjID) (int32, bool) {
-	o := &h.objs[id]
-	if o.mark == h.epoch {
-		return o.Size, false
+	if h.mark[id] == h.epoch {
+		return h.size[id], false
 	}
-	o.mark = h.epoch
-	return o.Size, true
+	h.mark[id] = h.epoch
+	return h.size[id], true
 }
 
 // FinishMajorGC sweeps every unmarked object in all spaces (a full GC in
@@ -485,13 +669,12 @@ func (h *Heap) FinishMajorGC() (freedOld, liveOld int64) {
 	sweep := func(list []ObjID, used *int64, freed *int64) []ObjID {
 		out := list[:0]
 		for _, id := range list {
-			o := &h.objs[id]
-			if o.mark == h.epoch {
+			if h.mark[id] == h.epoch {
 				out = append(out, id)
 				continue
 			}
-			*used -= int64(o.Size)
-			*freed += int64(o.Size)
+			*used -= int64(h.size[id])
+			*freed += int64(h.size[id])
 			h.release(id)
 		}
 		return out
@@ -503,15 +686,16 @@ func (h *Heap) FinishMajorGC() (freedOld, liveOld int64) {
 	h.Stats.FreedYoungBytes += freedYoung
 	h.Stats.FreedOldBytes += freedOld
 	h.pruneRememberedSet()
+	h.maybeCompactRefs()
 	return freedOld, h.oldUsed
 }
 
 func (h *Heap) release(id ObjID) {
-	o := &h.objs[id]
-	o.Space = SpaceNone
-	o.Age = 0
-	o.InRS = false
-	o.Refs = o.Refs[:0]
+	h.space[id] = SpaceNone
+	h.age[id] = 0
+	h.inRS[id] = false
+	h.refsLive -= int64(h.refLen[id])
+	h.refLen[id] = 0
 	h.free = append(h.free, id)
 }
 
@@ -532,7 +716,7 @@ func (h *Heap) ReachableFrom(roots []ObjID) map[ObjID]bool {
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, r := range h.objs[id].Refs {
+		for _, r := range h.Refs(id) {
 			if r != 0 && !seen[r] {
 				seen[r] = true
 				stack = append(stack, r)
@@ -547,18 +731,17 @@ func (h *Heap) ReachableFrom(roots []ObjID) map[ObjID]bool {
 func (h *Heap) CheckInvariants() error {
 	var eden, from, to, old int64
 	count := map[Space]int{}
-	for id := 1; id < len(h.objs); id++ {
-		o := &h.objs[id]
-		count[o.Space]++
-		switch o.Space {
+	for id := 1; id < len(h.size); id++ {
+		count[h.space[id]]++
+		switch h.space[id] {
 		case SpaceEden:
-			eden += int64(o.Size)
+			eden += int64(h.size[id])
 		case SpaceFrom:
-			from += int64(o.Size)
+			from += int64(h.size[id])
 		case SpaceTo:
-			to += int64(o.Size)
+			to += int64(h.size[id])
 		case SpaceOld:
-			old += int64(o.Size)
+			old += int64(h.size[id])
 		}
 	}
 	if eden != h.edenUsed {
@@ -580,16 +763,32 @@ func (h *Heap) CheckInvariants() error {
 		return fmt.Errorf("old list has %d entries, %d objects tagged old", len(h.old), count[SpaceOld])
 	}
 	// Remembered-set completeness: every old→young edge is covered.
-	for id := 1; id < len(h.objs); id++ {
-		o := &h.objs[id]
-		if o.Space != SpaceOld {
+	for id := 1; id < len(h.size); id++ {
+		if h.space[id] != SpaceOld {
 			continue
 		}
-		for _, r := range o.Refs {
-			if r != 0 && h.young(r) && !o.InRS {
+		for _, r := range h.Refs(ObjID(id)) {
+			if r != 0 && h.young(r) && !h.inRS[id] {
 				return fmt.Errorf("old object %d references young %d but is not in RS", id, r)
 			}
 		}
+	}
+	// Refs-arena block accounting: live lengths sum to refsLive, and no
+	// block escapes the arena.
+	var live int64
+	for id := 1; id < len(h.size); id++ {
+		if h.space[id] != SpaceNone {
+			live += int64(h.refLen[id])
+		}
+		if h.refLen[id] > h.refCap[id] {
+			return fmt.Errorf("object %d refLen %d > refCap %d", id, h.refLen[id], h.refCap[id])
+		}
+		if int(h.refOff[id])+int(h.refCap[id]) > len(h.refs) {
+			return fmt.Errorf("object %d refs block [%d,+%d) escapes arena of %d", id, h.refOff[id], h.refCap[id], len(h.refs))
+		}
+	}
+	if live != h.refsLive {
+		return fmt.Errorf("refsLive=%d but live blocks sum to %d", h.refsLive, live)
 	}
 	return nil
 }

@@ -43,7 +43,7 @@ func TestAllocBasics(t *testing.T) {
 	if !ok {
 		t.Fatal("second Alloc failed")
 	}
-	if got := h.Get(b).Refs; len(got) != 1 || got[0] != a {
+	if got := h.Refs(b); len(got) != 1 || got[0] != a {
 		t.Errorf("refs = %v, want [a]", got)
 	}
 	eden, _, _ := h.Usage()
@@ -82,11 +82,11 @@ func TestMinorGCCollectsGarbage(t *testing.T) {
 	if freed != 200 {
 		t.Errorf("freed = %d, want 200 (the dead object)", freed)
 	}
-	if h.Get(live).Space != SpaceFrom {
-		t.Errorf("survivor in space %v, want from", h.Get(live).Space)
+	if h.SpaceOf(live) != SpaceFrom {
+		t.Errorf("survivor in space %v, want from", h.SpaceOf(live))
 	}
-	if h.Get(live).Age != 1 {
-		t.Errorf("survivor age = %d, want 1", h.Get(live).Age)
+	if h.AgeOf(live) != 1 {
+		t.Errorf("survivor age = %d, want 1", h.AgeOf(live))
 	}
 	eden, from, _ := h.Usage()
 	if eden != 0 || from != 100 {
@@ -113,8 +113,8 @@ func TestTenuringPromotesAfterAge(t *testing.T) {
 	if !promoted {
 		t.Error("object not promoted at tenure age")
 	}
-	if h.Get(obj).Space != SpaceOld {
-		t.Errorf("space = %v, want old", h.Get(obj).Space)
+	if h.SpaceOf(obj) != SpaceOld {
+		t.Errorf("space = %v, want old", h.SpaceOf(obj))
 	}
 	if err := h.CheckInvariants(); err != nil {
 		t.Error(err)
@@ -167,7 +167,7 @@ func TestWriteBarrierMaintainsRememberedSet(t *testing.T) {
 	}
 	young, _ := h.Alloc(50)
 	h.AddRef(oldObj, young)
-	if !h.Get(oldObj).InRS {
+	if !h.InRS(oldObj) {
 		t.Error("old→young store did not enter the remembered set")
 	}
 	rs := h.RememberedSet()
@@ -199,7 +199,7 @@ func TestRememberedSetPrunedAfterGC(t *testing.T) {
 	if len(h.RememberedSet()) != 0 {
 		t.Errorf("RS not pruned after reference cleared: %v", h.RememberedSet())
 	}
-	if h.Get(oldObj).InRS {
+	if h.InRS(oldObj) {
 		t.Error("InRS flag not cleared")
 	}
 }
@@ -213,7 +213,7 @@ func TestPromotedObjectWithYoungChildrenEntersRS(t *testing.T) {
 	// still young at that moment — classic RS update case. Child then
 	// promotes too; the prune at FinishMinorGC drops the stale entry.
 	h.CopyYoung(parent)
-	if !h.Get(parent).InRS {
+	if !h.InRS(parent) {
 		t.Error("promoted parent with young child missing from RS")
 	}
 	h.CopyYoung(child)
@@ -259,9 +259,9 @@ func TestSlotReuseAfterFree(t *testing.T) {
 	if b != a {
 		t.Errorf("slot not reused: got %d, want %d", b, a)
 	}
-	o := h.Get(b)
-	if o.Size != 60 || o.Age != 0 || len(o.Refs) != 0 || o.InRS {
-		t.Errorf("reused slot not reset: %+v", o)
+	if h.SizeOf(b) != 60 || h.AgeOf(b) != 0 || h.RefLen(b) != 0 || h.InRS(b) {
+		t.Errorf("reused slot not reset: size=%d age=%d refs=%d inRS=%v",
+			h.SizeOf(b), h.AgeOf(b), h.RefLen(b), h.InRS(b))
 	}
 }
 
@@ -342,7 +342,7 @@ func TestScavengeEquivalentToOracle(t *testing.T) {
 			if _, _, first := h.CopyYoung(id); !first {
 				continue
 			}
-			for _, r := range h.Get(id).Refs {
+			for _, r := range h.Refs(id) {
 				if r != 0 && !h.Visited(r) {
 					queue = append(queue, r)
 				}
@@ -356,7 +356,7 @@ func TestScavengeEquivalentToOracle(t *testing.T) {
 		// Every oracle-live object survived; everything else is free.
 		liveCount := 0
 		for _, id := range ids {
-			alive := h.Get(id).Space != SpaceNone
+			alive := h.SpaceOf(id) != SpaceNone
 			if want[id] != alive {
 				t.Logf("object %d: oracle live=%v, heap alive=%v", id, want[id], alive)
 				return false

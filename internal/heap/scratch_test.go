@@ -22,7 +22,7 @@ func churn(h *Heap, seed int64) (Stats, int, int64, int64, int64) {
 				}
 			}
 			for _, r := range h.RememberedSet() {
-				for _, c := range h.Get(r).Refs {
+				for _, c := range h.Refs(r) {
 					if h.young(c) && !h.Visited(c) {
 						h.CopyYoung(c)
 					}
@@ -66,7 +66,7 @@ func TestHeapScratchReuseIsInvisible(t *testing.T) {
 	}
 	churn(warmup, 77) // different seed: nothing carries over but capacity
 	warmup.Reclaim(&sc)
-	if cap(sc.objs) < 2 {
+	if cap(sc.size) < 2 {
 		t.Fatal("reclaim harvested no object table")
 	}
 

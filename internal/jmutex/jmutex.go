@@ -159,74 +159,96 @@ func (m *Monitor) seek(delta int) {
 }
 
 // logAcq appends to the acquisition log when enabled.
-func (m *Monitor) logAcq(e *cfs.Env, fast bool) {
+func (m *Monitor) logAcq(t *cfs.Thread, fast bool) {
 	if !m.RecordLog {
 		return
 	}
 	m.Log = append(m.Log, AcqEvent{
-		At:        e.Now(),
-		Thread:    e.T.Name,
+		At:        m.k.Sim.Now(),
+		Thread:    t.Name,
 		Fast:      fast,
-		Reacquire: m.lastOwner == e.T,
+		Reacquire: m.lastOwner == t,
 		Queued:    m.QueuedWaiters(),
 	})
 }
 
-// Lock acquires the monitor, blocking as needed.
+// Lock acquires the monitor, blocking as needed. It is composed of the
+// three fold-friendly pieces below (LockBegin / TryLockFast /
+// LockContended) so that a driver-serviced compute plan can run the
+// uncontended acquisition without resuming the thread's body; calling Lock
+// and calling the pieces in that order are observably identical.
 func (m *Monitor) Lock(e *cfs.Env) {
-	t := e.T
+	e.Compute(m.LockBegin(e.T))
+	if m.TryLockFast(e.T) {
+		return
+	}
+	m.LockContended(e)
+}
+
+// LockBegin registers t as a lock seeker and returns the CAS cost the
+// caller must consume (via Compute or a plan slice) before deciding the
+// acquisition with TryLockFast.
+func (m *Monitor) LockBegin(t *cfs.Thread) simkit.Time {
 	if m.owner == t {
 		panic("jmutex: recursive Lock on " + m.Name + " by " + t.Name)
 	}
 	m.seek(1)
-	defer m.seek(-1)
-	e.Compute(m.casCost) // the initial CAS attempt
+	return m.casCost
+}
+
+// TryLockFast attempts the post-CAS fast path for t, performing the full
+// fast-acquisition bookkeeping (stats, trace events, acquisition log,
+// ownership) on success. On failure the thread remains a seeker and must
+// finish the acquisition with LockContended.
+func (m *Monitor) TryLockFast(t *cfs.Thread) bool {
 	switch m.policy {
 	case PolicyHotSpot, PolicyWakeAll:
-		if m.owner == nil {
-			m.Stats.FastAcquires++
-			reacq := int64(0)
-			if m.lastOwner == t {
-				m.Stats.OwnerReacquires++
-				reacq = 1
-			}
-			if q := m.QueuedWaiters(); q > 0 {
-				m.Stats.Bypasses++
-				if m.etr != nil {
-					m.emit(evtrace.KLockBypass, t, int64(q), reacq)
-				}
-			}
-			if m.etr != nil {
-				m.emit(evtrace.KLockFast, t, int64(m.QueuedWaiters()), reacq)
-			}
-			m.logAcq(e, true)
-			m.owner = t
-			return
+		if m.owner != nil {
+			return false
 		}
-		m.competitiveSlow(e)
-	case PolicyNoFastPath:
-		if m.owner == nil && m.QueuedWaiters() == 0 {
-			m.Stats.FastAcquires++
-			if m.etr != nil {
-				m.emit(evtrace.KLockFast, t, 0, reacquireArg(m, t))
-			}
-			m.logAcq(e, true)
-			m.owner = t
-			return
+		m.Stats.FastAcquires++
+		reacq := int64(0)
+		if m.lastOwner == t {
+			m.Stats.OwnerReacquires++
+			reacq = 1
 		}
-		m.competitiveSlow(e)
-	case PolicyFairFIFO:
-		if m.owner == nil && m.QueuedWaiters() == 0 {
-			m.Stats.FastAcquires++
+		if q := m.QueuedWaiters(); q > 0 {
+			m.Stats.Bypasses++
 			if m.etr != nil {
-				m.emit(evtrace.KLockFast, t, 0, reacquireArg(m, t))
+				m.emit(evtrace.KLockBypass, t, int64(q), reacq)
 			}
-			m.logAcq(e, true)
-			m.owner = t
-			return
 		}
-		m.fifoSlow(e)
+		if m.etr != nil {
+			m.emit(evtrace.KLockFast, t, int64(m.QueuedWaiters()), reacq)
+		}
+		m.logAcq(t, true)
+		m.owner = t
+		m.seek(-1)
+		return true
+	default: // PolicyNoFastPath, PolicyFairFIFO: no bypassing fast path
+		if m.owner != nil || m.QueuedWaiters() != 0 {
+			return false
+		}
+		m.Stats.FastAcquires++
+		if m.etr != nil {
+			m.emit(evtrace.KLockFast, t, 0, reacquireArg(m, t))
+		}
+		m.logAcq(t, true)
+		m.owner = t
+		m.seek(-1)
+		return true
 	}
+}
+
+// LockContended finishes an acquisition whose fast path failed, queuing
+// and parking per the policy. Must run in the thread's body (it blocks).
+func (m *Monitor) LockContended(e *cfs.Env) {
+	defer m.seek(-1)
+	if m.policy == PolicyFairFIFO {
+		m.fifoSlow(e)
+		return
+	}
+	m.competitiveSlow(e)
 }
 
 // competitiveSlow queues the thread and retries the CAS whenever it is
@@ -244,7 +266,7 @@ func (m *Monitor) competitiveSlow(e *cfs.Env) {
 			if m.etr != nil {
 				m.emit(evtrace.KLockHandoff, t, int64(m.QueuedWaiters()), 0)
 			}
-			m.logAcq(e, false)
+			m.logAcq(t, false)
 			m.owner = t
 			m.Stats.SlowAcquires++
 			return
@@ -281,14 +303,26 @@ func (m *Monitor) fifoSlow(e *cfs.Env) {
 	}
 }
 
-// Unlock releases the monitor and wakes successor(s) per policy.
+// Unlock releases the monitor and wakes successor(s) per policy. Like
+// Lock, it decomposes into UnlockBegin (cost) + UnlockFinish (release) so
+// compute plans can drive it without a body resume.
 func (m *Monitor) Unlock(e *cfs.Env) {
-	if m.owner != e.T {
-		panic("jmutex: Unlock of " + m.Name + " by non-owner " + e.T.Name)
-	}
-	e.Compute(m.unlockCost)
-	m.unlockFrom(e.T)
+	e.Compute(m.UnlockBegin(e.T))
+	m.UnlockFinish(e.T)
 }
+
+// UnlockBegin validates ownership and returns the release cost the caller
+// must consume before completing the release with UnlockFinish.
+func (m *Monitor) UnlockBegin(t *cfs.Thread) simkit.Time {
+	if m.owner != t {
+		panic("jmutex: Unlock of " + m.Name + " by non-owner " + t.Name)
+	}
+	return m.unlockCost
+}
+
+// UnlockFinish releases the monitor and wakes successor(s) per policy. It
+// never blocks, so it is safe to call from the driver side.
+func (m *Monitor) UnlockFinish(t *cfs.Thread) { m.unlockFrom(t) }
 
 // unlockFrom implements the release path (shared with Wait).
 func (m *Monitor) unlockFrom(t *cfs.Thread) {

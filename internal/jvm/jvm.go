@@ -184,6 +184,156 @@ type mutatorState struct {
 	atSafepoint bool
 	idle        bool
 	finished    bool
+
+	// Burst-plan state. The mutator's steady-state item loop (compute,
+	// lock/serial/unlock, allocation burst) is expressed as a compute plan
+	// (planStep) the kernel services driver-side, so back-to-back slices
+	// cost no coroutine switches. Anything that can block — safepoints,
+	// contended locks, GC requests, phase transitions — is handed back to
+	// the body through action.
+	j          *JVM
+	plan       cfs.PlanFn
+	pc         planPC
+	batch      bool // multi-item (batch) vs single-item (server) plan
+	items      int  // batch: item target
+	n          int  // batch: items completed
+	phaseEvery int
+	clusters   int // clusters per item
+	cluster    int // clusters completed in the current item
+	serial     simkit.Time
+	rest       simkit.Time
+	action     planAction
+}
+
+// planPC is the mutator plan's resume point.
+type planPC uint8
+
+const (
+	pcIdle planPC = iota
+	pcItemStart
+	pcPhaseCheck
+	pcItemCompute
+	pcLockTry
+	pcLockAcquired
+	pcUnlockBegin
+	pcUnlockFinish
+	pcAllocStart
+	pcClusters
+	pcClusterAttempt
+	pcItemEnd
+)
+
+// planAction is what the body must do when the plan hands control back.
+type planAction uint8
+
+const (
+	actionNone planAction = iota
+	actionFinished
+	actionSafepoint
+	actionPhase
+	actionLockContended
+	actionGC
+	actionItemDone
+)
+
+// planStep is the mutator's compute plan (cfs.PlanFn). Each call either
+// returns the next CPU slice or stops the plan with an action for the body.
+// The control flow is the state-machine transcription of the old
+// batchMutatorBody/runItem loops: every heap access, RNG draw and monitor
+// operation happens at the same virtual instant and in the same order as
+// the body-resident original, so simulation results are byte-identical.
+func (ms *mutatorState) planStep() (simkit.Time, bool) {
+	j := ms.j
+	p := &j.Cfg.Profile
+	for {
+		switch ms.pc {
+		case pcItemStart: // batch only: per-item loop header
+			if ms.n >= ms.items || j.oomErr != nil {
+				ms.pc = pcIdle
+				ms.action = actionFinished
+				return 0, false
+			}
+			ms.pc = pcPhaseCheck
+			if j.safepoint {
+				ms.action = actionSafepoint
+				return 0, false
+			}
+		case pcPhaseCheck:
+			ms.pc = pcItemCompute
+			if ms.phaseEvery > 0 && ms.n%ms.phaseEvery == 0 {
+				ms.action = actionPhase
+				return 0, false
+			}
+		case pcItemCompute:
+			// ±25% jitter decorrelates mutators.
+			compute := p.ItemCompute
+			if p.Class == workload.Server {
+				compute = p.ServiceCompute
+			}
+			compute = compute*3/4 + simkit.Time(j.M.K.Sim.Rand().Int63n(int64(compute)/2+1))
+			if p.SerialFrac > 0 {
+				ms.serial = simkit.Time(float64(compute) * p.SerialFrac)
+				ms.rest = compute - ms.serial
+				ms.pc = pcLockTry
+				return j.appMon.LockBegin(ms.th), true
+			}
+			ms.pc = pcAllocStart
+			return compute, true
+		case pcLockTry:
+			if j.appMon.TryLockFast(ms.th) {
+				ms.pc = pcUnlockBegin
+				return ms.serial, true
+			}
+			ms.pc = pcLockAcquired
+			ms.action = actionLockContended
+			return 0, false
+		case pcLockAcquired:
+			ms.pc = pcUnlockBegin
+			return ms.serial, true
+		case pcUnlockBegin:
+			ms.pc = pcUnlockFinish
+			return j.appMon.UnlockBegin(ms.th), true
+		case pcUnlockFinish:
+			j.appMon.UnlockFinish(ms.th)
+			ms.pc = pcAllocStart
+			return ms.rest, true
+		case pcAllocStart:
+			// First-touch NUMA policy: new objects are homed on this
+			// thread's node.
+			j.H.SetAllocNode(j.M.K.Topo.Node(ms.th.Core()))
+			ms.cluster = 0
+			ms.pc = pcClusters
+		case pcClusters: // per-cluster loop header
+			if ms.cluster < ms.clusters && j.oomErr == nil {
+				ms.pc = pcClusterAttempt
+				continue
+			}
+			ms.pc = pcItemEnd
+		case pcClusterAttempt:
+			if j.safepoint {
+				ms.action = actionSafepoint
+				return 0, false
+			}
+			if _, ok := ms.graph.AllocCluster(); ok {
+				ms.cluster++
+				ms.pc = pcClusters
+				continue
+			}
+			ms.action = actionGC
+			return 0, false
+		case pcItemEnd:
+			if !ms.batch {
+				ms.pc = pcIdle
+				ms.action = actionItemDone
+				return 0, false
+			}
+			ms.n++
+			j.itemsDone++
+			ms.pc = pcItemStart
+		default:
+			panic("jvm: mutator plan stepped while idle")
+		}
+	}
 }
 
 type request struct {
@@ -284,7 +434,8 @@ func (m *Machine) AddJVM(cfg Config) (*JVM, error) {
 		if err != nil {
 			return nil, err
 		}
-		ms := &mutatorState{graph: g}
+		ms := &mutatorState{graph: g, j: j}
+		ms.plan = ms.planStep
 		j.muts = append(j.muts, ms)
 		core := ostopo.CoreID((int(cfg.SpawnCore) + i) % ncpu)
 		body := j.batchMutatorBody(i)
@@ -456,6 +607,7 @@ func (j *JVM) gatherRoots(major bool) pscavenge.RootSet {
 
 func (j *JVM) batchMutatorBody(i int) func(*cfs.Env) {
 	return func(e *cfs.Env) {
+		ms := j.muts[i]
 		p := j.Cfg.Profile
 		items := p.TotalItems / len(j.muts)
 		if i < p.TotalItems%len(j.muts) {
@@ -468,49 +620,57 @@ func (j *JVM) batchMutatorBody(i int) func(*cfs.Env) {
 				phaseEvery = 1
 			}
 		}
-		for n := 0; n < items && j.oomErr == nil; n++ {
-			j.checkSafepoint(e, i)
-			if phaseEvery > 0 && n%phaseEvery == 0 {
-				j.phaseTransition(e, i)
-			}
-			j.runItem(e, i)
-			j.itemsDone++
+		ms.batch = true
+		ms.items = items
+		ms.n = 0
+		ms.phaseEvery = phaseEvery
+		ms.clusters = p.ItemClusters
+		if p.Class == workload.Server {
+			ms.clusters = p.ServiceClusters
 		}
-		j.mutatorFinished(e, i)
+		ms.pc = pcItemStart
+		for {
+			e.ComputePlan(ms.plan)
+			switch ms.action {
+			case actionFinished:
+				j.mutatorFinished(e, i)
+				return
+			case actionSafepoint:
+				j.checkSafepoint(e, i)
+			case actionPhase:
+				j.phaseTransition(e, i)
+			case actionLockContended:
+				j.appMon.LockContended(e)
+			case actionGC:
+				j.requestGC(e, i, causeMinor)
+			}
+		}
 	}
 }
 
 // runItem performs one work item: compute (partially under the application
-// lock for non-scalable workloads) plus allocation.
+// lock for non-scalable workloads) plus allocation. It drives the mutator's
+// compute plan in single-item mode; only the blocking pieces run here in
+// the body.
 func (j *JVM) runItem(e *cfs.Env, i int) {
+	ms := j.muts[i]
 	p := j.Cfg.Profile
-	// ±25% jitter decorrelates mutators.
-	compute := p.ItemCompute
+	ms.batch = false
+	ms.clusters = p.ItemClusters
 	if p.Class == workload.Server {
-		compute = p.ServiceCompute
+		ms.clusters = p.ServiceClusters
 	}
-	compute = compute*3/4 + simkit.Time(e.Rand().Int63n(int64(compute)/2+1))
-	if p.SerialFrac > 0 {
-		serial := simkit.Time(float64(compute) * p.SerialFrac)
-		j.appMon.Lock(e)
-		e.Compute(serial)
-		j.appMon.Unlock(e)
-		e.Compute(compute - serial)
-	} else {
-		e.Compute(compute)
-	}
-	clusters := p.ItemClusters
-	if p.Class == workload.Server {
-		clusters = p.ServiceClusters
-	}
-	// First-touch NUMA policy: new objects are homed on this thread's node.
-	j.H.SetAllocNode(j.M.K.Topo.Node(e.Core()))
-	for c := 0; c < clusters && j.oomErr == nil; c++ {
-		for {
+	ms.pc = pcItemCompute
+	for {
+		e.ComputePlan(ms.plan)
+		switch ms.action {
+		case actionItemDone:
+			return
+		case actionSafepoint:
 			j.checkSafepoint(e, i)
-			if _, ok := j.muts[i].graph.AllocCluster(); ok {
-				break
-			}
+		case actionLockContended:
+			j.appMon.LockContended(e)
+		case actionGC:
 			j.requestGC(e, i, causeMinor)
 		}
 	}

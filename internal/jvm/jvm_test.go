@@ -468,3 +468,47 @@ func TestFuzzRandomProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestMutatorBurstsRunAsPlans asserts the steady-state mutator loop is
+// serviced as a driver-side compute plan: the kernel must record burst
+// elisions (slices started without a body resume) on both the plain
+// allocation profile (whose plans chain one item's compute into the next
+// without resuming the body) and the lock-heavy one (whose plans also fold
+// the monitor's CAS/serial/unlock sequence).
+func TestMutatorBurstsRunAsPlans(t *testing.T) {
+	cases := []struct {
+		name    string
+		perItem int // minimum elisions per item completed
+		cfg     Config
+	}{
+		// One elision per steady-state item boundary (next item's compute
+		// slice starts driver-side); GC pauses interrupt a few chains.
+		{"lusearch", 1, Config{Profile: shrink(workload.Lusearch(), 8), Mutators: 16, Seed: 51}},
+		// SerialFrac > 0 adds serial/unlock/rest slices to every item.
+		{"xalan-serial", 3, Config{Profile: shrink(workload.Xalan(), 8), Mutators: 16, Seed: 52}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := mustRun(t, RunSpec{Config: tc.cfg, Seed: tc.cfg.Seed})
+			if r.Kernel.BurstElisions == 0 {
+				t.Fatal("run recorded no burst elisions; mutator plans are not being serviced driver-side")
+			}
+			if want := int(r.ItemsDone) * tc.perItem / 2; r.Kernel.BurstElisions < want {
+				t.Errorf("burst elisions = %d for %d items; want >= %d",
+					r.Kernel.BurstElisions, r.ItemsDone, want)
+			}
+		})
+	}
+
+	// Server mode folds each request's allocation burst into the service
+	// compute slice's completion, driver-side; with SerialFrac = 0 the plan
+	// has a single slice, so the fold shows up as completed requests, not
+	// elisions.
+	t.Run("cassandra", func(t *testing.T) {
+		cfg := Config{Profile: workload.Cassandra(), Mutators: 8, Clients: 16, Requests: 1200, Seed: 53}
+		r := mustRun(t, RunSpec{Config: cfg, Seed: 53})
+		if r.ItemsDone != 1200 {
+			t.Errorf("server answered %d of 1200 requests", r.ItemsDone)
+		}
+	})
+}

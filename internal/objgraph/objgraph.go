@@ -79,21 +79,31 @@ func DefaultParams() Params {
 
 // Mutator is one mutator thread's slice of the object graph: its transient
 // stack roots, its retained structures, and its old-generation anchor.
+//
+// The stack and retained windows are FIFO ring buffers: the slice fills to
+// the window size once and then pushes overwrite the oldest slot in place.
+// The old shift-down representation made every steady-state push a memmove
+// of the whole window — the single hottest mutator-side operation in the
+// Fig10 profile. Logical (oldest-first) order is preserved through the head
+// indices, so root enumeration and random-head draws are unchanged.
 type Mutator struct {
 	ID  int
 	h   *heap.Heap
 	p   Params
 	rng *rand.Rand
 
-	stack    []heap.ObjID // transient roots, FIFO window
-	retained []heap.ObjID // medium-lived roots, FIFO window
-	anchor   heap.ObjID   // old-gen structure this mutator grows
+	stack     []heap.ObjID // transient roots, FIFO ring
+	stackHead int          // index of the oldest stack entry
+	retained  []heap.ObjID // medium-lived roots, FIFO ring
+	retHead   int          // index of the oldest retained entry
+	anchor    heap.ObjID   // old-gen structure this mutator grows
 
-	// Scratch buffers reused across AllocCluster calls. The heap copies
-	// child references into the object record, so handing it the same
-	// backing array every time is safe.
+	// Scratch buffers reused across calls. The heap copies child
+	// references into the object record, so handing it the same backing
+	// array every time is safe; roots is only read between Roots calls.
 	sizes    []int32
 	children []heap.ObjID
+	roots    []heap.ObjID
 
 	AllocatedBytes int64
 	Clusters       int64
@@ -114,13 +124,19 @@ func NewMutator(id int, h *heap.Heap, p Params, rng *rand.Rand) (*Mutator, error
 	return m, nil
 }
 
-// Roots returns the mutator's current GC roots (stack + retained). The
-// anchor is *not* a root here: it is reached through the remembered set,
-// exactly like tenured application state in a real minor GC.
+// Roots returns the mutator's current GC roots (stack + retained, oldest
+// first). The anchor is *not* a root here: it is reached through the
+// remembered set, exactly like tenured application state in a real minor
+// GC. The returned slice is a per-mutator buffer reused by the next Roots
+// call; it stays valid through a GC pause (the mutator is parked) but must
+// not be held across one.
 func (m *Mutator) Roots() []heap.ObjID {
-	roots := make([]heap.ObjID, 0, len(m.stack)+len(m.retained))
-	roots = append(roots, m.stack...)
-	roots = append(roots, m.retained...)
+	roots := m.roots[:0]
+	roots = append(roots, m.stack[m.stackHead:]...)
+	roots = append(roots, m.stack[:m.stackHead]...)
+	roots = append(roots, m.retained[m.retHead:]...)
+	roots = append(roots, m.retained[:m.retHead]...)
+	m.roots = roots
 	return roots
 }
 
@@ -175,12 +191,27 @@ func (m *Mutator) AllocCluster() (bytes int64, ok bool) {
 	return need, true
 }
 
+// stackAt and retainedAt map a logical (oldest-first) index to the ring.
+func (m *Mutator) stackAt(i int) heap.ObjID {
+	if i += m.stackHead; i >= len(m.stack) {
+		i -= len(m.stack)
+	}
+	return m.stack[i]
+}
+
+func (m *Mutator) retainedAt(i int) heap.ObjID {
+	if i += m.retHead; i >= len(m.retained) {
+		i -= len(m.retained)
+	}
+	return m.retained[i]
+}
+
 func (m *Mutator) randomLiveHead() heap.ObjID {
 	if len(m.stack) > 0 && (len(m.retained) == 0 || m.rng.Intn(2) == 0) {
-		return m.stack[m.rng.Intn(len(m.stack))]
+		return m.stackAt(m.rng.Intn(len(m.stack)))
 	}
 	if len(m.retained) > 0 {
-		return m.retained[m.rng.Intn(len(m.retained))]
+		return m.retainedAt(m.rng.Intn(len(m.retained)))
 	}
 	return 0
 }
@@ -188,49 +219,61 @@ func (m *Mutator) randomLiveHead() heap.ObjID {
 // pushStack adds a new head to the stack window, retiring the oldest when
 // the window is full.
 func (m *Mutator) pushStack(head heap.ObjID) {
-	m.stack = append(m.stack, head)
-	if len(m.stack) <= m.p.StackWindow {
+	if len(m.stack) < m.p.StackWindow {
+		m.stack = append(m.stack, head)
 		return
 	}
-	old := m.stack[0]
-	// Shift down in place rather than re-slicing: advancing the slice base
-	// makes every append past the window reallocate the backing array.
-	copy(m.stack, m.stack[1:])
-	m.stack = m.stack[:len(m.stack)-1]
+	// Ring push: overwrite the oldest slot and advance the head — the
+	// in-place equivalent of append+shift, without the memmove.
+	old := m.stack[m.stackHead]
+	m.stack[m.stackHead] = head
+	if m.stackHead++; m.stackHead == len(m.stack) {
+		m.stackHead = 0
+	}
 	if m.rng.Float64() < m.p.RetainProb && m.p.RetainWindow > 0 {
-		m.retained = append(m.retained, old)
-		if m.rng.Float64() < m.p.OldAttachProb {
-			// old→young edge through the write barrier. The anchor window
-			// is bounded: displaced subtrees become tenured garbage.
-			refs := m.h.Get(m.anchor).Refs
-			if m.p.AnchorWindow > 0 && len(refs) >= m.p.AnchorWindow {
-				m.h.SetRef(m.anchor, m.rng.Intn(len(refs)), old)
-			} else {
-				m.h.AddRef(m.anchor, old)
-			}
-		}
-		if len(m.retained) > m.p.RetainWindow {
-			copy(m.retained, m.retained[1:])
-			m.retained = m.retained[:len(m.retained)-1]
-			// Note: the evicted head may still be reachable via the
-			// anchor; that is intended (tenured garbage accumulates and
-			// is only reclaimed by a major GC after anchor trimming).
-		}
+		m.pushRetained(old)
 	}
 	// else: the head simply becomes unreachable — young garbage.
+}
+
+// pushRetained moves a retiring head into the retained ring, possibly
+// attaching it to the old-generation anchor on the way in.
+func (m *Mutator) pushRetained(old heap.ObjID) {
+	if m.rng.Float64() < m.p.OldAttachProb {
+		// old→young edge through the write barrier. The anchor window
+		// is bounded: displaced subtrees become tenured garbage.
+		n := m.h.RefLen(m.anchor)
+		if m.p.AnchorWindow > 0 && n >= m.p.AnchorWindow {
+			m.h.SetRef(m.anchor, m.rng.Intn(n), old)
+		} else {
+			m.h.AddRef(m.anchor, old)
+		}
+	}
+	if len(m.retained) < m.p.RetainWindow {
+		m.retained = append(m.retained, old)
+		return
+	}
+	// Note: the evicted head may still be reachable via the anchor; that
+	// is intended (tenured garbage accumulates and is only reclaimed by a
+	// major GC after anchor trimming).
+	m.retained[m.retHead] = old
+	if m.retHead++; m.retHead == len(m.retained) {
+		m.retHead = 0
+	}
 }
 
 // TrimAnchor drops roughly frac of the anchor's references, turning tenured
 // data into old-generation garbage (drives major-GC reclamation).
 func (m *Mutator) TrimAnchor(frac float64) {
-	o := m.h.Get(m.anchor)
-	keep := o.Refs[:0]
-	for _, r := range o.Refs {
+	refs := m.h.Refs(m.anchor)
+	keep := 0
+	for _, r := range refs {
 		if m.rng.Float64() >= frac {
-			keep = append(keep, r)
+			refs[keep] = r
+			keep++
 		}
 	}
-	o.Refs = keep
+	m.h.TruncateRefs(m.anchor, keep)
 }
 
 func min64(a, b int64) int64 {

@@ -156,12 +156,12 @@ func TestTrimAnchorDropsReferences(t *testing.T) {
 			t.Fatal("eden full")
 		}
 	}
-	before := len(h.Get(m.Anchor()).Refs)
+	before := h.RefLen(m.Anchor())
 	if before == 0 {
 		t.Fatal("anchor has no refs to trim")
 	}
 	m.TrimAnchor(1.0)
-	if after := len(h.Get(m.Anchor()).Refs); after != 0 {
+	if after := h.RefLen(m.Anchor()); after != 0 {
 		t.Errorf("TrimAnchor(1.0) left %d refs", after)
 	}
 }

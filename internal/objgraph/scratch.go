@@ -7,11 +7,11 @@ import (
 )
 
 // Scratch pools the per-mutator working buffers — stack/retained root
-// windows and the AllocCluster size/child staging arrays — across
-// simulation cells, indexed by mutator ID so each mutator gets back
-// buffers already sized for its windows. All buffers hold ObjIDs or sizes
-// (no pointers), so truncation alone recycles them. The zero value is
-// ready to use.
+// windows, the roots snapshot, and the AllocCluster size/child staging
+// arrays — across simulation cells, indexed by mutator ID so each mutator
+// gets back buffers already sized for its windows. All buffers hold ObjIDs
+// or sizes (no pointers), so truncation alone recycles them. The zero value
+// is ready to use.
 type Scratch struct {
 	muts []mutScratch
 }
@@ -21,12 +21,14 @@ type mutScratch struct {
 	retained []heap.ObjID
 	sizes    []int32
 	children []heap.ObjID
+	roots    []heap.ObjID
 }
 
 // NewMutatorWith creates a mutator like NewMutator, adopting the buffers
 // pooled under the same mutator ID in sc (sc may be nil). Buffer adoption
-// only changes slice capacities, never values, so allocation streams are
-// byte-identical with or without scratch.
+// only changes slice capacities, never values (the ring heads start at
+// zero either way), so allocation streams are byte-identical with or
+// without scratch.
 func NewMutatorWith(id int, h *heap.Heap, p Params, rng *rand.Rand, sc *Scratch) (*Mutator, error) {
 	m, err := NewMutator(id, h, p, rng)
 	if err != nil {
@@ -38,6 +40,7 @@ func NewMutatorWith(id int, h *heap.Heap, p Params, rng *rand.Rand, sc *Scratch)
 		m.retained = ms.retained[:0]
 		m.sizes = ms.sizes[:0]
 		m.children = ms.children[:0]
+		m.roots = ms.roots[:0]
 		*ms = mutScratch{}
 	}
 	return m, nil
@@ -54,6 +57,7 @@ func (m *Mutator) Reclaim(sc *Scratch) {
 		retained: m.retained[:0],
 		sizes:    m.sizes[:0],
 		children: m.children[:0],
+		roots:    m.roots[:0],
 	}
-	m.stack, m.retained, m.sizes, m.children = nil, nil, nil, nil
+	m.stack, m.retained, m.sizes, m.children, m.roots = nil, nil, nil, nil, nil
 }

@@ -219,12 +219,12 @@ func (g *Engine) scavengeStep(tr *cfs.Batcher, w int, id heap.ObjID, rep *GCRepo
 		cost = g.numaAdjust(tr, id, cost, rep, true)
 	}
 	tr.Charge(cost)
-	for _, r := range h.Get(id).Refs {
+	for _, r := range h.Refs(id) {
 		if r == 0 {
 			continue
 		}
 		tr.Charge(g.Costs.RefScan)
-		if !h.Visited(r) && isYoung(h.Get(r).Space) {
+		if !h.Visited(r) && isYoung(h.SpaceOf(r)) {
 			g.queues[w].PushBottom(r)
 		}
 	}
@@ -244,7 +244,7 @@ func (g *Engine) markStep(tr *cfs.Batcher, w int, id heap.ObjID, rep *GCReport) 
 		cost = g.numaAdjust(tr, id, cost, rep, false)
 	}
 	tr.Charge(cost)
-	for _, r := range h.Get(id).Refs {
+	for _, r := range h.Refs(id) {
 		if r == 0 {
 			continue
 		}
@@ -260,13 +260,12 @@ func (g *Engine) markStep(tr *cfs.Batcher, w int, id heap.ObjID, rep *GCReport) 
 // the accessing thread's node.
 func (g *Engine) numaAdjust(tr *cfs.Batcher, id heap.ObjID, cost simkit.Time, rep *GCReport, rehome bool) simkit.Time {
 	m := g.Opt.NUMA
-	o := g.H.Get(id)
 	myNode := m.Topo.Node(tr.Env().Core())
-	if int(o.Node) != myNode {
+	if int(g.H.NodeOf(id)) != myNode {
 		rep.RemoteAccesses++
 		cost = simkit.Time(float64(cost) * m.RemoteFactor)
 		if rehome {
-			o.Node = uint8(myNode)
+			g.H.SetNode(id, uint8(myNode))
 		}
 	} else {
 		rep.LocalAccesses++
@@ -296,7 +295,7 @@ func (g *Engine) runScavengeRoots(e *cfs.Env, w int, t *GCTask) {
 			continue
 		}
 		tr.Charge(g.Costs.RefScan)
-		if !g.H.Visited(id) && isYoung(g.H.Get(id).Space) {
+		if !g.H.Visited(id) && isYoung(g.H.SpaceOf(id)) {
 			g.queues[w].PushBottom(id)
 		}
 	}
@@ -307,12 +306,12 @@ func (g *Engine) runScavengeRoots(e *cfs.Env, w int, t *GCTask) {
 func (g *Engine) runOldToYoung(e *cfs.Env, w int, t *GCTask) {
 	tr := g.newTracer(e)
 	for _, oldID := range t.Roots {
-		for _, r := range g.H.Get(oldID).Refs {
+		for _, r := range g.H.Refs(oldID) {
 			if r == 0 {
 				continue
 			}
 			tr.Charge(g.Costs.RefScan)
-			if !g.H.Visited(r) && isYoung(g.H.Get(r).Space) {
+			if !g.H.Visited(r) && isYoung(g.H.SpaceOf(r)) {
 				g.queues[w].PushBottom(r)
 			}
 		}

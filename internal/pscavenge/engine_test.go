@@ -151,7 +151,7 @@ func TestMinorGCPreservesOracleLiveSet(t *testing.T) {
 	// Every oracle-live young object must still exist (from-space or
 	// promoted); eden must be empty.
 	for id := range wantLive {
-		sp := r.h.Get(id).Space
+		sp := r.h.SpaceOf(id)
 		if sp == heap.SpaceNone || sp == heap.SpaceEden {
 			t.Fatalf("live object %d lost (space %v)", id, sp)
 		}
@@ -260,7 +260,7 @@ func TestMajorGCCollectsOldGarbage(t *testing.T) {
 	}
 	// Anchors must survive.
 	for _, m := range r.muts {
-		if r.h.Get(m.Anchor()).Space != heap.SpaceOld {
+		if r.h.SpaceOf(m.Anchor()) != heap.SpaceOld {
 			t.Error("anchor lost by major GC")
 		}
 	}
@@ -520,7 +520,7 @@ func TestNUMACopyRehomesObjects(t *testing.T) {
 	rehomed := 0
 	for _, m := range r.muts {
 		for _, id := range m.Roots() {
-			if r.h.Get(id).Space != heap.SpaceNone && r.h.Get(id).Node == 0 {
+			if r.h.SpaceOf(id) != heap.SpaceNone && r.h.NodeOf(id) == 0 {
 				rehomed++
 			}
 		}
@@ -549,7 +549,7 @@ func TestVerifyHeapPanicsOnCorruption(t *testing.T) {
 			t.Error("AllocOld failed")
 		}
 		young := r.muts[0].Roots()[0]
-		r.h.Get(oldObj).Refs = append(r.h.Get(oldObj).Refs, young) // bypasses the barrier
+		r.h.AddRefUnsafe(oldObj, young) // bypasses the barrier
 		r.g.RunMinorGC(e, roots)
 	})
 	for !done && r.sim.Step() {
