@@ -7,7 +7,7 @@ GO ?= go
 
 .PHONY: build test race vet fmt-check bench check check-invariants results \
 	bench-smoke bench-guard bench-baseline bench-benchstat bench-compare \
-	trace-smoke bench-json benchjson-smoke serve-smoke
+	trace-smoke bench-json benchjson-smoke serve-smoke postmortem-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-check: fmt-check vet race check-invariants bench-smoke bench-guard benchjson-smoke serve-smoke
+check: fmt-check vet race check-invariants bench-smoke bench-guard benchjson-smoke serve-smoke postmortem-smoke
 
 # Correctness harness: race-test the checker package itself, then run a
 # 32-cell smoke slice of the seed-sweep property harness (a prefix of the
@@ -60,7 +60,10 @@ bench-guard:
 		./internal/simkit/ && \
 	  $(GO) test -run XXX -benchtime=1000x -benchmem \
 		-bench 'BenchmarkHeapAlloc$$|BenchmarkMinorGCTrace$$' \
-		./internal/heap/ ; } > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+		./internal/heap/ && \
+	  $(GO) test -run XXX -benchtime=1000x -benchmem \
+		-bench 'BenchmarkPostmortemAttribution$$|BenchmarkPostmortemDisabled$$' \
+		./internal/postmortem/ ; } > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	cat $$out; \
 	awk '$$NF == "allocs/op" && $$(NF-1)+0 > 0 \
 		{bad=1; print "ALLOC REGRESSION:", $$0} END {exit bad}' $$out; \
@@ -147,6 +150,19 @@ trace-smoke:
 		-evtrace $(TRACE_SMOKE_OUT) -lockprofile -metrics
 	$(GO) run ./cmd/tracecheck $(TRACE_SMOKE_OUT)
 	$(GO) test -run 'TestGoldenScale4TracingEnabled' ./internal/experiments/
+
+# Pause-postmortem smoke test: run a reduced checked cell with blame
+# attribution, write the postmortem JSON, verify its internal invariant
+# (buckets sum to each pause's wall time) and parseability with gcreport,
+# and run the attribution unit suite plus the scale-4 golden check — the
+# proof that attaching the analyzer never changes simulation output.
+POSTMORTEM_SMOKE_OUT ?= /tmp/gcsim-postmortem-smoke.json
+postmortem-smoke:
+	$(GO) run ./cmd/gcsim -bench lusearch -mutators 8 -gcthreads 4 \
+		-check -postmortem -postmortem-json $(POSTMORTEM_SMOKE_OUT)
+	$(GO) run ./cmd/gcreport -verify $(POSTMORTEM_SMOKE_OUT)
+	$(GO) test ./internal/postmortem/
+	$(GO) test -run 'TestGoldenScale4PostmortemEnabled' ./internal/experiments/
 
 # Regenerate the committed full evaluation output (seed 42, all cores);
 # EXPERIMENTS.md explains how to read it.

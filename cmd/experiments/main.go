@@ -49,9 +49,10 @@ func realMain() error {
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 
-		evtraceDir = flag.String("evtrace-dir", "", "write per-cell Perfetto traces into <dir>/<experiment>/cell-NNN.json")
-		timeline   = flag.Int("timeline", -1, "render a scheduling timeline for this cell index (single -run only)")
-		checkF     = flag.Bool("check", false, "attach the cross-layer invariant checker to every cell (exit 1 on violation)")
+		evtraceDir    = flag.String("evtrace-dir", "", "write per-cell Perfetto traces into <dir>/<experiment>/cell-NNN.json")
+		postmortemDir = flag.String("postmortem-dir", "", "write per-cell pause postmortems into <dir>/<experiment>/postmortem-NNN.json")
+		timeline      = flag.Int("timeline", -1, "render a scheduling timeline for this cell index (single -run only)")
+		checkF        = flag.Bool("check", false, "attach the cross-layer invariant checker to every cell (exit 1 on violation)")
 	)
 	flag.Parse()
 
@@ -119,7 +120,8 @@ func realMain() error {
 	}
 	ropt := runOptions{
 		seed: *seed, scale: *scale, jobs: *jobs,
-		csvDir: *csv, evtraceDir: *evtraceDir, timeline: *timeline,
+		csvDir: *csv, evtraceDir: *evtraceDir, postmortemDir: *postmortemDir,
+		timeline: *timeline,
 	}
 	if *checkF {
 		ropt.check = &experiments.CheckCollector{}
@@ -148,12 +150,13 @@ func realMain() error {
 
 // runOptions carries the CLI knobs that shape an experiment batch.
 type runOptions struct {
-	seed        int64
-	scale, jobs int
-	csvDir      string
-	evtraceDir  string
-	timeline    int                         // cell index to render, -1 = off
-	check       *experiments.CheckCollector // non-nil when -check is set
+	seed          int64
+	scale, jobs   int
+	csvDir        string
+	evtraceDir    string
+	postmortemDir string
+	timeline      int                         // cell index to render, -1 = off
+	check         *experiments.CheckCollector // non-nil when -check is set
 }
 
 // errWriter remembers the first write error on the -o file.
@@ -179,6 +182,12 @@ func runExperiments(w io.Writer, todo []experiments.Experiment, ro runOptions) e
 		if ro.evtraceDir != "" {
 			eopt.TraceDir = filepath.Join(ro.evtraceDir, e.ID)
 			if err := os.MkdirAll(eopt.TraceDir, 0o755); err != nil {
+				return err
+			}
+		}
+		if ro.postmortemDir != "" {
+			eopt.PostmortemDir = filepath.Join(ro.postmortemDir, e.ID)
+			if err := os.MkdirAll(eopt.PostmortemDir, 0o755); err != nil {
 				return err
 			}
 		}

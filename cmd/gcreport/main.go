@@ -1,0 +1,73 @@
+// Command gcreport consumes pause-postmortem JSON files written by
+// `gcsim -postmortem-json` or `experiments -postmortem-dir`.
+//
+// With two files it attributes the pause-time delta between the runs to
+// blame buckets — the postmortem twin of `benchjson compare`:
+//
+//	gcreport vanilla.json optimized.json
+//
+// With -verify it checks one file's internal invariants (schema, and
+// buckets summing to each collection's pause within tolerance), exiting
+// non-zero on violation:
+//
+//	gcreport -verify run.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/postmortem"
+)
+
+func main() {
+	verify := flag.Bool("verify", false, "verify one postmortem file's sum invariant instead of comparing two")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gcreport A.json B.json   (compare)\n")
+		fmt.Fprintf(os.Stderr, "       gcreport -verify F.json (check invariants)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *verify {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		ex := load(flag.Arg(0))
+		if bad := ex.Verify(); len(bad) != 0 {
+			for _, v := range bad {
+				fmt.Fprintf(os.Stderr, "gcreport: %s: %s\n", flag.Arg(0), v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%d collections, total pause %.2fms, pathology: %s)\n",
+			flag.Arg(0), ex.Collections, float64(ex.TotalPauseNs)/1e6, ex.Pathology)
+		return
+	}
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, b := load(flag.Arg(0)), load(flag.Arg(1))
+	postmortem.Compare(os.Stdout, flag.Arg(0), a, flag.Arg(1), b)
+}
+
+func load(path string) *postmortem.Export {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	ex, err := postmortem.ParseJSON(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return ex
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gcreport:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/evtrace"
 	"repro/internal/gclog"
 	"repro/internal/jvm"
+	"repro/internal/postmortem"
 	"repro/internal/schedtrace"
 	"repro/internal/stats"
 )
@@ -47,6 +48,10 @@ func main() {
 		lockprof   = flag.Bool("lockprofile", false, "print the GCTaskManager lock-contention profile (ownership transitions, reacquisition runs)")
 		metricsF   = flag.Bool("metrics", false, "print the unified metrics registry after the run")
 		checkF     = flag.Bool("check", false, "run the cross-layer invariant checker online (exit 1 on violation)")
+
+		postmortemF    = flag.Bool("postmortem", false, "attribute every pause to blame buckets and print the run postmortem")
+		postmortemJSON = flag.String("postmortem-json", "", "write the pause postmortem as JSON to a file (compare with cmd/gcreport)")
+		postmortemWin  = flag.String("postmortem-trace", "", "write a Perfetto trace window around the worst pause to a file")
 	)
 	flag.Parse()
 
@@ -110,8 +115,9 @@ func main() {
 	}
 	// Observability hooks: the event tracer feeds both the Perfetto export
 	// and the lock profiler; the registry feeds -metrics and -gcjson.
+	wantPostmortem := *postmortemF || *postmortemJSON != "" || *postmortemWin != ""
 	var tracer *evtrace.Tracer
-	if *evtraceOut != "" || *lockprof || *checkF {
+	if *evtraceOut != "" || *lockprof || *checkF || wantPostmortem {
 		tracer = evtrace.New(*evtraceCap)
 		spec.EvTracer = tracer
 	}
@@ -119,6 +125,11 @@ func main() {
 	if *checkF {
 		checker = check.New()
 		checker.Attach(tracer)
+	}
+	var analyzer *postmortem.Analyzer
+	if wantPostmortem {
+		analyzer = postmortem.New()
+		analyzer.Attach(tracer)
 	}
 	var reg *evtrace.Registry
 	if *metricsF || *gcjson != "" {
@@ -134,6 +145,45 @@ func main() {
 		checker.Finish()
 		fmt.Print(checker.Report())
 	}
+	if analyzer != nil {
+		analyzer.Finish()
+	}
+	if *postmortemF {
+		analyzer.Postmortem().Render(os.Stdout)
+	}
+	if *postmortemJSON != "" {
+		f, err := os.Create(*postmortemJSON)
+		if err != nil {
+			fail(err)
+		}
+		if err := gclog.WritePostmortemJSON(f, analyzer); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *postmortemWin != "" {
+		reports := analyzer.Postmortem().Worst
+		if len(reports) == 0 {
+			fail(fmt.Errorf("-postmortem-trace: no collections observed"))
+		}
+		worst := reports[0]
+		f, err := os.Create(*postmortemWin)
+		if err != nil {
+			fail(err)
+		}
+		if err := evtrace.WritePerfettoWindow(f, tracer, worst.SeqLo, worst.SeqHi); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote worst-pause window (gc=%d pause=%.3fms events=[%d..%d]) to %s\n",
+			worst.Seq, float64(worst.PauseNs())/1e6, worst.SeqLo, worst.SeqHi, *postmortemWin)
+	}
 	if *evtraceOut != "" {
 		f, err := os.Create(*evtraceOut)
 		if err != nil {
@@ -147,6 +197,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("wrote %d trace events to %s (open in https://ui.perfetto.dev)\n", tracer.Len(), *evtraceOut)
+		drops := tracer.Drops()
+		for _, l := range evtrace.Layers() {
+			if d := drops[l]; d > 0 {
+				fmt.Printf("  warning: %s ring dropped %d events (raise -evtrace-cap for a complete export)\n", l, d)
+			}
+		}
 	}
 	if *lockprof {
 		evtrace.BuildLockProfile(tracer, "GCTaskManager").Render(os.Stdout)

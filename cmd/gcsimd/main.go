@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"time"
 
@@ -230,6 +231,21 @@ func runSelftest(opts service.Options, n, conc, items int) error {
 		return fmt.Errorf("missing %s header", service.HeaderDigest)
 	}
 
+	// ... and both bodies carry the pause-postmortem blame summary (the
+	// byte-identity check above already proved miss and hit agree on it).
+	var pred struct {
+		Blame *service.BlameSummary `json:"blame"`
+	}
+	if err := json.Unmarshal(body1, &pred); err != nil {
+		return fmt.Errorf("run body not JSON: %w", err)
+	}
+	if pred.Blame == nil {
+		return fmt.Errorf("run response carries no blame summary: %s", body1)
+	}
+	if pred.Blame.Pathology == "" || len(pred.Blame.Buckets) == 0 {
+		return fmt.Errorf("blame summary incomplete: %+v", pred.Blame)
+	}
+
 	// ... and the counters agree: one simulation ran, one hit served.
 	var metrics []struct {
 		Name  string  `json:"name"`
@@ -249,6 +265,33 @@ func runSelftest(opts service.Options, n, conc, items int) error {
 	if counters["service.runs"] != 1 || counters["service.cache_hits"] != 1 {
 		return fmt.Errorf("after miss+hit: runs=%v cache_hits=%v, want 1/1",
 			counters["service.runs"], counters["service.cache_hits"])
+	}
+	for _, q := range []string{".p50", ".p95", ".p99"} {
+		if _, ok := counters["service.latency_cold_ms"+q]; !ok {
+			return fmt.Errorf("metrics missing service.latency_cold_ms%s (have %d entries)", q, len(metrics))
+		}
+		if _, ok := counters["service.latency_hit_ms"+q]; !ok {
+			return fmt.Errorf("metrics missing service.latency_hit_ms%s", q)
+		}
+	}
+
+	// ... and the same snapshot is available as Prometheus text with
+	// latency summary quantiles when the client asks for text/plain.
+	st, ctype, pbody, err := getText(base + "/metrics")
+	if err != nil || st != 200 {
+		return fmt.Errorf("prometheus metrics: status %d err %v", st, err)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		return fmt.Errorf("prometheus metrics content-type %q, want text/plain", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE service_runs counter",
+		`service_latency_cold_ms{quantile="0.99"}`,
+		"service_latency_cold_ms_count",
+	} {
+		if !bytes.Contains(pbody, []byte(want)) {
+			return fmt.Errorf("prometheus exposition missing %q:\n%s", want, pbody)
+		}
 	}
 
 	// 3. A sweep streams one line per cell and replays entirely from cache.
@@ -275,6 +318,9 @@ func runSelftest(opts service.Options, n, conc, items int) error {
 		}
 		if wantHit && bytes.Count(body, []byte(`"cache":"hit"`)) != 4 {
 			return fmt.Errorf("sweep replay not fully cached: %s", body)
+		}
+		if got := bytes.Count(body, []byte(`"blame"`)); got != 4 {
+			return fmt.Errorf("sweep %s: %d of 4 cells carry a blame summary", pass, got)
 		}
 	}
 
@@ -309,6 +355,23 @@ func get(url string) (int, http.Header, []byte, error) {
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	return resp.StatusCode, resp.Header, b, err
+}
+
+// getText GETs url asking for text/plain (the Prometheus scrape shape)
+// and returns the status, Content-Type, and body.
+func getText(url string) (int, string, []byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), b, err
 }
 
 func expectOK(url string) error {

@@ -48,17 +48,18 @@ func main() {
 	})
 
 	var failed []*check.CellResult
-	var events uint64
+	var events, drops uint64
 	for _, r := range results {
 		events += r.Events
+		drops += r.Drops
 		if r.Failed() {
 			failed = append(failed, r)
 		} else if *verbose {
 			fmt.Println(r.Summary())
 		}
 	}
-	fmt.Printf("simcheck: %d cells, %d bus events validated in %v (%d workers)\n",
-		len(results), events, time.Since(start).Round(time.Millisecond), pool.Workers())
+	fmt.Printf("simcheck: %d cells, %d bus events validated, %d dropped in %v (%d workers)\n",
+		len(results), events, drops, time.Since(start).Round(time.Millisecond), pool.Workers())
 	if len(failed) == 0 {
 		fmt.Println("simcheck: all invariants hold; all replays byte-identical")
 		return

@@ -49,17 +49,26 @@ func check(path string) error {
 	}
 	var doc struct {
 		TraceEvents []struct {
-			Cat string `json:"cat"`
-			Ph  string `json:"ph"`
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("not valid trace-event JSON: %v", err)
 	}
 	counts := map[string]int{}
+	var drops []string
 	for _, e := range doc.TraceEvents {
 		if e.Cat != "" {
 			counts[e.Cat]++
+		}
+		// WritePerfetto records per-layer ring overflow as evtrace_drops
+		// metadata; surface it so a truncated export is never mistaken for
+		// a complete one.
+		if e.Ph == "M" && e.Name == "evtrace_drops" {
+			drops = append(drops, fmt.Sprintf("%v=%v", e.Args["layer"], e.Args["drops"]))
 		}
 	}
 	var missing, have []string
@@ -74,6 +83,11 @@ func check(path string) error {
 	if len(missing) > 0 {
 		return fmt.Errorf("missing layers: %s (present: %s)",
 			strings.Join(missing, ", "), strings.Join(have, " "))
+	}
+	if len(drops) > 0 {
+		fmt.Printf("%s: ok (%d events; %s) — WARNING: dropped events per layer: %s\n",
+			path, len(doc.TraceEvents), strings.Join(have, " "), strings.Join(drops, " "))
+		return nil
 	}
 	fmt.Printf("%s: ok (%d events; %s)\n", path, len(doc.TraceEvents), strings.Join(have, " "))
 	return nil

@@ -13,6 +13,7 @@ import (
 	"repro/internal/jmutex"
 	"repro/internal/jvm"
 	"repro/internal/ostopo"
+	"repro/internal/postmortem"
 	"repro/internal/simkit"
 	"repro/internal/taskq"
 	"repro/internal/workload"
@@ -116,6 +117,18 @@ type CellResult struct {
 	BareDigest string // same digest from the uninstrumented replay
 	Err        error  // simulation-level failure (OOM, deadlock, panic)
 
+	// Drops counts events the checked run's ring sinks discarded. The
+	// checker and postmortem analyzer subscribe (they always see the whole
+	// stream), but a nonzero count means the retained ring — the triage
+	// window WriteViolationWindow exports — is incomplete, so the sweep
+	// treats it as a failure: cells are sized to fit the default ring.
+	Drops uint64
+
+	// BlameViolations lists collections whose postmortem blame buckets do
+	// not sum to their pause wall time — the attribution engine's own
+	// invariant, checked on every cell of the sweep.
+	BlameViolations []string
+
 	// Tracer retains the checked run's event bus when the cell failed, so
 	// the caller can export a pre-violation window for Perfetto triage.
 	Tracer *evtrace.Tracer
@@ -123,7 +136,8 @@ type CellResult struct {
 
 // Failed reports whether the cell found a problem of any sort.
 func (r *CellResult) Failed() bool {
-	return r.Total > 0 || r.Err != nil || r.Digest != r.BareDigest
+	return r.Total > 0 || r.Err != nil || r.Digest != r.BareDigest ||
+		r.Drops > 0 || len(r.BlameViolations) > 0
 }
 
 // Summary renders the failure modes of one result.
@@ -138,6 +152,12 @@ func (r *CellResult) Summary() string {
 	if r.Digest != r.BareDigest {
 		s += fmt.Sprintf("\n  determinism: checked run digest %s != bare digest %s",
 			short(r.Digest), short(r.BareDigest))
+	}
+	if r.Drops > 0 {
+		s += fmt.Sprintf("\n  evtrace: %d events dropped from the ring sinks (triage window incomplete)", r.Drops)
+	}
+	for _, v := range r.BlameViolations {
+		s += "\n  postmortem: " + v
 	}
 	for _, v := range r.Violations {
 		s += "\n  " + v.String()
@@ -175,6 +195,8 @@ func RunCell(cell Cell) *CellResult {
 	tr := evtrace.New(0)
 	ck := New()
 	ck.Attach(tr)
+	an := postmortem.New()
+	an.Attach(tr)
 	checked, err := runCellOnce(cell, tr)
 	if err != nil {
 		res.Err = err
@@ -182,9 +204,14 @@ func RunCell(cell Cell) *CellResult {
 		return res
 	}
 	ck.Finish()
+	an.Finish()
 	res.Events = ck.EventsSeen()
 	res.Violations = ck.Violations()
 	res.Total = ck.Total()
+	res.BlameViolations = an.Export().Verify()
+	for _, d := range tr.Drops() {
+		res.Drops += d
+	}
 	res.Digest = digestResults(checked)
 
 	bare, err := runCellOnce(cell, nil)

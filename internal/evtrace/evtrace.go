@@ -166,6 +166,13 @@ const (
 	// KTaskEnqueue: the VM thread enqueued one GC task on the manager
 	// (Arg1 = unique task id, Arg2 = task kind, Name = task kind name).
 	KTaskEnqueue
+	// KWorkerBind: a GC worker thread announced itself, binding the CFS
+	// thread id to its engine identity (TID = cfs thread id, Arg1 = worker
+	// index, Arg2 = engine instance, Name = manager monitor name). Emitted
+	// once per worker at spawn; attribution layers use it to bridge the two
+	// TID namespaces (taskq/GC events carry worker indexes, cfs/jmutex
+	// events carry thread ids).
+	KWorkerBind
 
 	numKinds
 )
@@ -204,6 +211,7 @@ var kindMeta = [numKinds]kindInfo{
 	KGCPhase:      {LayerGC, "gc_phase", true},
 	KGCTask:       {LayerGC, "gc_task", true},
 	KTaskEnqueue:  {LayerGC, "task_enqueue", false},
+	KWorkerBind:   {LayerGC, "worker_bind", false},
 }
 
 // Layer returns the layer a kind belongs to.

@@ -217,6 +217,63 @@ func TestLockProfile(t *testing.T) {
 	}
 }
 
+// TestLockProfileMergedMultiMonitor pins the per-monitor ownership
+// cursor: when two monitors' acquisition streams interleave (one per JVM
+// in a multi-JVM run) and profiles are merged (lock == ""), runs and
+// transitions must be tracked per monitor — a single global cursor would
+// fabricate cross-machine transitions no thread ever performed.
+func TestLockProfileMergedMultiMonitor(t *testing.T) {
+	tr := New(64)
+	tr.RegisterThread(1, "GCTaskThread#0")
+	tr.RegisterThread(2, "GCTaskThread#1")
+	// Monitor A: tid 1 acquires three times in a row; monitor B's stream
+	// (tid 2, twice) interleaves between them.
+	tr.Emit(Event{Kind: KLockFast, At: 1, TID: 1, Name: "GCTaskManager"})
+	tr.Emit(Event{Kind: KLockFast, At: 2, TID: 2, Name: "GCTaskManager#1"})
+	tr.Emit(Event{Kind: KLockFast, At: 3, TID: 1, Name: "GCTaskManager", Arg2: 1})
+	tr.Emit(Event{Kind: KLockFast, At: 4, TID: 2, Name: "GCTaskManager#1", Arg2: 1})
+	tr.Emit(Event{Kind: KLockFast, At: 5, TID: 1, Name: "GCTaskManager", Arg2: 1})
+
+	p := BuildLockProfile(tr, "")
+	if p.Acquires != 5 {
+		t.Fatalf("acquires = %d, want 5", p.Acquires)
+	}
+	// tid 1 re-acquired A twice, tid 2 re-acquired B once; nothing else.
+	if p.PrevOwnerWins != 3 {
+		t.Errorf("PrevOwnerWins = %d, want 3 (per-monitor cursors)", p.PrevOwnerWins)
+	}
+	if p.MaxRun != 3 || p.RunLengths[3] != 1 || p.RunLengths[2] != 1 {
+		t.Errorf("runs = %v max %d, want {3:1, 2:1} max 3", p.RunLengths, p.MaxRun)
+	}
+	// Transition matrix must be purely diagonal: ownership never crossed
+	// between the two machines' monitors.
+	for i := range p.Transitions {
+		for j, c := range p.Transitions[i] {
+			if i != j && c != 0 {
+				t.Errorf("fabricated cross-monitor transition [%d][%d] = %d", i, j, c)
+			}
+		}
+	}
+	if p.Transitions[0][0] != 2 || p.Transitions[1][1] != 1 {
+		t.Errorf("diagonal = [%d, %d], want [2, 1]",
+			p.Transitions[0][0], p.Transitions[1][1])
+	}
+
+	// The per-monitor view splits the same stream into two profiles.
+	profiles := BuildLockProfiles(tr)
+	if len(profiles) != 2 {
+		t.Fatalf("BuildLockProfiles returned %d profiles, want 2", len(profiles))
+	}
+	if profiles[0].Lock != "GCTaskManager" || profiles[1].Lock != "GCTaskManager#1" {
+		t.Errorf("profile names %q/%q, want sorted monitor names",
+			profiles[0].Lock, profiles[1].Lock)
+	}
+	if profiles[0].Acquires != 3 || profiles[1].Acquires != 2 {
+		t.Errorf("per-monitor acquires = %d/%d, want 3/2",
+			profiles[0].Acquires, profiles[1].Acquires)
+	}
+}
+
 func TestLockProfileEmpty(t *testing.T) {
 	p := BuildLockProfile(nil, "m")
 	if p.Acquires != 0 || p.PrevOwnerWinRate() != 0 {

@@ -76,15 +76,32 @@ func BuildLockProfile(t *Tracer, lock string) *LockProfile {
 		return i
 	}
 
-	prev, run := -1, 0
-	endRun := func() {
-		if run > 0 {
-			p.RunLengths[run]++
-			if run > p.MaxRun {
-				p.MaxRun = run
+	// Ownership state is tracked per monitor name even when profiles are
+	// merged (lock == ""): in a multi-JVM run each machine has its own
+	// "GCTaskManager#N" monitor, and folding their interleaved acquisition
+	// streams through one prev/run cursor fabricated cross-machine
+	// "transitions" that no thread ever performed.
+	type lockState struct {
+		prev int
+		run  int
+	}
+	states := map[string]*lockState{}
+	stateOf := func(name string) *lockState {
+		s := states[name]
+		if s == nil {
+			s = &lockState{prev: -1}
+			states[name] = s
+		}
+		return s
+	}
+	endRun := func(s *lockState) {
+		if s.run > 0 {
+			p.RunLengths[s.run]++
+			if s.run > p.MaxRun {
+				p.MaxRun = s.run
 			}
 		}
-		run = 0
+		s.run = 0
 	}
 	for _, e := range t.LayerEvents(LayerJmutex) {
 		if lock != "" && e.Name != lock {
@@ -92,6 +109,7 @@ func BuildLockProfile(t *Tracer, lock string) *LockProfile {
 		}
 		switch e.Kind {
 		case KLockFast, KLockHandoff:
+			s := stateOf(e.Name)
 			cur := idxOf(e.TID)
 			p.Acquires++
 			if e.Kind == KLockFast {
@@ -99,27 +117,54 @@ func BuildLockProfile(t *Tracer, lock string) *LockProfile {
 			} else {
 				p.Handoffs++
 			}
-			if prev >= 0 {
-				p.Transitions[prev][cur]++
-				if prev == cur {
+			if s.prev >= 0 {
+				p.Transitions[s.prev][cur]++
+				if s.prev == cur {
 					p.PrevOwnerWins++
 				}
 			}
-			if cur == prev {
-				run++
+			if cur == s.prev {
+				s.run++
 			} else {
-				endRun()
-				run = 1
+				endRun(s)
+				s.run = 1
 			}
-			prev = cur
+			s.prev = cur
 		case KLockBypass:
 			p.Bypasses++
 		case KLockBlock:
 			p.Blocks++
 		}
 	}
-	endRun()
+	for _, s := range states {
+		endRun(s)
+	}
 	return p
+}
+
+// BuildLockProfiles folds the tracer's retained jmutex events into one
+// profile per distinct monitor name, sorted by name — the per-machine
+// view for multi-JVM runs, where every instance has its own
+// "GCTaskManager#N" monitor. Returns nil when tracing was disabled or no
+// jmutex events were retained.
+func BuildLockProfiles(t *Tracer) []*LockProfile {
+	if t == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	names := []string{}
+	for _, e := range t.LayerEvents(LayerJmutex) {
+		if !seen[e.Name] {
+			seen[e.Name] = true
+			names = append(names, e.Name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*LockProfile, len(names))
+	for i, name := range names {
+		out[i] = BuildLockProfile(t, name)
+	}
+	return out
 }
 
 // PrevOwnerWinRate is the share of (non-first) acquisitions won by the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // This file is the unified metrics registry: the ad-hoc counters scattered
@@ -67,6 +69,63 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
+// Histogram is a sample-accumulating distribution metric. Unlike Counter
+// and Gauge it retains every observation, so exact nearest-rank quantiles
+// are available at exposition time — the right trade for the registry's
+// use (service latencies, pause blame), where sample counts are modest
+// and quantile fidelity matters more than bounded memory.
+type Histogram struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.samples)
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]) of the
+// observations, 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	idx := int(q*float64(len(h.samples)) + 0.5)
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(h.samples) {
+		idx = len(h.samples)
+	}
+	return h.samples[idx-1]
+}
+
 // Metric is one named value inside a snapshot.
 type Metric struct {
 	Name  string  `json:"name"`
@@ -86,6 +145,7 @@ type Snapshot struct {
 type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 	history  []Snapshot
 }
 
@@ -94,6 +154,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -124,6 +185,20 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns (creating if needed) the histogram with the given
+// name. Returns nil on a nil registry; Histogram methods on nil are no-ops.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
 // Snap captures the registry's current state, appends it to the history,
 // and returns it. Safe on nil (returns a zero Snapshot).
 func (r *Registry) Snap(label string, atNs int64) Snapshot {
@@ -135,34 +210,44 @@ func (r *Registry) Snap(label string, atNs int64) Snapshot {
 	return s
 }
 
-// values returns every metric sorted by name. Counters and gauges are
-// collected through sorted key slices and merged counter-first, so a
-// counter and a gauge sharing one name have a deterministic order; the
-// former sort.Slice over map-iteration output left that tie to the map's
-// iteration order, which leaked into JSON exports (and any digest over
-// them) as run-to-run byte differences.
+// values returns every metric sorted by name. Metrics are collected into
+// one list and sorted by (name, kind) with counters before gauges before
+// histogram expansions, so any metrics sharing one name have a
+// deterministic order; the former sort.Slice over map-iteration output
+// left that tie to the map's iteration order, which leaked into JSON
+// exports (and any digest over them) as run-to-run byte differences.
+// Histograms expand into five derived values each: <name>.p50, .p95,
+// .p99, .count and .sum — quantiles stay enumerable through the same
+// flat Metric interface the JSON consumers already parse.
 func (r *Registry) values() []Metric {
-	cnames := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		cnames = append(cnames, name)
+	type entry struct {
+		Metric
+		rank int // counter=0, gauge=1, histogram expansion=2
 	}
-	sort.Strings(cnames)
-	gnames := make([]string, 0, len(r.gauges))
-	for name := range r.gauges {
-		gnames = append(gnames, name)
+	ents := make([]entry, 0, len(r.counters)+len(r.gauges)+5*len(r.hists))
+	for name, c := range r.counters {
+		ents = append(ents, entry{Metric{Name: name, Value: float64(c.v)}, 0})
 	}
-	sort.Strings(gnames)
-
-	out := make([]Metric, 0, len(cnames)+len(gnames))
-	ci, gi := 0, 0
-	for ci < len(cnames) || gi < len(gnames) {
-		if gi >= len(gnames) || (ci < len(cnames) && cnames[ci] <= gnames[gi]) {
-			out = append(out, Metric{Name: cnames[ci], Value: float64(r.counters[cnames[ci]].v)})
-			ci++
-		} else {
-			out = append(out, Metric{Name: gnames[gi], Value: r.gauges[gnames[gi]].v})
-			gi++
+	for name, g := range r.gauges {
+		ents = append(ents, entry{Metric{Name: name, Value: g.v}, 1})
+	}
+	for name, h := range r.hists {
+		ents = append(ents,
+			entry{Metric{Name: name + ".p50", Value: h.Quantile(0.50)}, 2},
+			entry{Metric{Name: name + ".p95", Value: h.Quantile(0.95)}, 2},
+			entry{Metric{Name: name + ".p99", Value: h.Quantile(0.99)}, 2},
+			entry{Metric{Name: name + ".count", Value: float64(h.N())}, 2},
+			entry{Metric{Name: name + ".sum", Value: h.Sum()}, 2})
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].Name != ents[j].Name {
+			return ents[i].Name < ents[j].Name
 		}
+		return ents[i].rank < ents[j].rank
+	})
+	out := make([]Metric, len(ents))
+	for i, e := range ents {
+		out[i] = e.Metric
 	}
 	return out
 }
@@ -181,6 +266,84 @@ func (r *Registry) History() []Snapshot {
 		return nil
 	}
 	return r.history
+}
+
+// promName sanitizes a dotted registry name into the Prometheus metric
+// name charset [a-zA-Z0-9_:].
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// promValue formats a float the way the Prometheus text format expects;
+// FormatFloat 'g' with precision -1 round-trips exactly, so repeated
+// expositions of unchanged state are byte-identical.
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples with a
+// TYPE line, histograms as summaries with quantile labels plus _sum and
+// _count series. Families are emitted in sorted name order (counters
+// before gauges before summaries on a name tie), so the exposition is
+// deterministic and repeat-scrape byte-identical for unchanged state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		name string
+		rank int
+		emit func() error
+	}
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		n, v := promName(name), float64(c.v)
+		fams = append(fams, family{name, 0, func() error {
+			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", n, n, promValue(v))
+			return err
+		}})
+	}
+	for name, g := range r.gauges {
+		n, v := promName(name), g.v
+		fams = append(fams, family{name, 1, func() error {
+			_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promValue(v))
+			return err
+		}})
+	}
+	for name, h := range r.hists {
+		n, h := promName(name), h
+		fams = append(fams, family{name, 2, func() error {
+			_, err := fmt.Fprintf(w,
+				"# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.95\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %s\n%s_count %d\n",
+				n,
+				n, promValue(h.Quantile(0.50)),
+				n, promValue(h.Quantile(0.95)),
+				n, promValue(h.Quantile(0.99)),
+				n, promValue(h.Sum()),
+				n, h.N())
+			return err
+		}})
+	}
+	sort.Slice(fams, func(i, j int) bool {
+		if fams[i].name != fams[j].name {
+			return fams[i].name < fams[j].name
+		}
+		return fams[i].rank < fams[j].rank
+	})
+	for _, f := range fams {
+		if err := f.emit(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Render renders the current values as an aligned two-column listing.

@@ -1,0 +1,129 @@
+package evtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // nil-safe
+	if h.N() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram not inert")
+	}
+	h = &Histogram{}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100}}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if h.N() != 100 || h.Sum() != 5050 {
+		t.Errorf("N=%d Sum=%g, want 100/5050", h.N(), h.Sum())
+	}
+	// Observing after a quantile query (which sorts) keeps accounting right.
+	h.Observe(0.5)
+	if got := h.Quantile(0); got != 0.5 {
+		t.Errorf("post-sort observe: Quantile(0) = %g, want 0.5", got)
+	}
+}
+
+// TestRegistryExpositionGolden pins both exposition formats byte for
+// byte: the JSON metric list (with histogram quantile expansion, sorted,
+// counters before gauges before histograms on name ties) and the
+// Prometheus text format. Each is rendered twice and must repeat
+// byte-identically — the digest-stability property the service and gcjson
+// consumers rely on.
+func TestRegistryExpositionGolden(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("svc.runs").Set(3)
+		r.Gauge("svc.ratio").Set(0.25)
+		// A name collision across kinds: the tie must order deterministically.
+		r.Counter("svc.shared").Set(7)
+		r.Gauge("svc.shared").Set(1.5)
+		h := r.Histogram("svc.lat_ms")
+		for _, v := range []float64{4, 2, 8, 1} {
+			h.Observe(v)
+		}
+		return r
+	}
+
+	wantJSON := `[{"name":"svc.lat_ms.count","value":4},` +
+		`{"name":"svc.lat_ms.p50","value":2},` +
+		`{"name":"svc.lat_ms.p95","value":8},` +
+		`{"name":"svc.lat_ms.p99","value":8},` +
+		`{"name":"svc.lat_ms.sum","value":15},` +
+		`{"name":"svc.ratio","value":0.25},` +
+		`{"name":"svc.runs","value":3},` +
+		`{"name":"svc.shared","value":7},` +
+		`{"name":"svc.shared","value":1.5}]`
+	wantProm := `# TYPE svc_lat_ms summary
+svc_lat_ms{quantile="0.5"} 2
+svc_lat_ms{quantile="0.95"} 8
+svc_lat_ms{quantile="0.99"} 8
+svc_lat_ms_sum 15
+svc_lat_ms_count 4
+# TYPE svc_ratio gauge
+svc_ratio 0.25
+# TYPE svc_runs counter
+svc_runs 3
+# TYPE svc_shared counter
+svc_shared 7
+# TYPE svc_shared gauge
+svc_shared 1.5
+`
+
+	r := build()
+	j1, err := json.Marshal(r.Current())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != wantJSON {
+		t.Errorf("JSON exposition:\n got %s\nwant %s", j1, wantJSON)
+	}
+	j2, _ := json.Marshal(r.Current())
+	if !bytes.Equal(j1, j2) {
+		t.Error("repeated JSON marshal is not byte-identical")
+	}
+
+	var p1, p2 bytes.Buffer
+	if err := r.WritePrometheus(&p1); err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != wantProm {
+		t.Errorf("Prometheus exposition:\n got:\n%s\nwant:\n%s", p1.String(), wantProm)
+	}
+	if err := r.WritePrometheus(&p2); err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() {
+		t.Error("repeated Prometheus exposition is not byte-identical")
+	}
+
+	// A fresh registry built the same way must expose identically (no map
+	// iteration order leaking through).
+	var p3 bytes.Buffer
+	if err := build().WritePrometheus(&p3); err != nil {
+		t.Fatal(err)
+	}
+	if p3.String() != p1.String() {
+		t.Error("rebuild exposition differs: map order leaked into output")
+	}
+
+	var nilReg *Registry
+	nilReg.Histogram("x").Observe(1) // must not panic
+	if err := nilReg.WritePrometheus(&p3); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+}

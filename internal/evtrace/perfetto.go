@@ -107,6 +107,18 @@ func writePerfettoEvents(w io.Writer, t *Tracer, events []Event) error {
 	meta(pidWorkers, tidGCPhases, "thread_name", "GC phases")
 	meta(pidThreads, tidKernel, "thread_name", "simkit")
 
+	// Per-layer drop counts travel with the file as metadata records, so a
+	// consumer (cmd/tracecheck) can tell a complete export from the
+	// retained tail of an overflowed ring without access to the Tracer.
+	for _, l := range Layers() {
+		if d := t.sinks[l].drops; d > 0 {
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "evtrace_drops", Ph: "M", Pid: pidThreads, Tid: tidKernel,
+				Args: map[string]any{"layer": l.String(), "drops": d},
+			})
+		}
+	}
+
 	for _, e := range events {
 		out.TraceEvents = append(out.TraceEvents, convert(e))
 	}

@@ -20,7 +20,9 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/evtrace"
+	"repro/internal/gclog"
 	"repro/internal/jvm"
+	"repro/internal/postmortem"
 	"repro/internal/runner"
 	"repro/internal/simkit"
 	"repro/internal/stats"
@@ -57,6 +59,13 @@ type Options struct {
 	// Like tracing, checking is record-only: the rendered tables are
 	// byte-identical with or without it.
 	Check *CheckCollector
+	// PostmortemDir, when non-empty, attaches a pause-postmortem analyzer
+	// to every cell and writes its blame decomposition as
+	// postmortem-NNN.json into this directory (which must exist). Cell
+	// numbering matches TraceDir's, so cell-007.json and
+	// postmortem-007.json describe the same simulation. Record-only, like
+	// tracing and checking.
+	PostmortemDir string
 
 	// cellSeq numbers the experiment's cells; created by norm().
 	cellSeq *int64
@@ -297,7 +306,7 @@ func runSpec(opt Options, idx int, spec jvm.RunSpec) *jvm.Result {
 	spec.Scratch = sc
 	defer opt.Pool.PutScratch(sc)
 	var tr *evtrace.Tracer
-	if (opt.TraceDir != "" && idx >= 0) || opt.Check != nil {
+	if ((opt.TraceDir != "" || opt.PostmortemDir != "") && idx >= 0) || opt.Check != nil {
 		tr = evtrace.New(evtrace.DefaultSinkCap)
 		spec.EvTracer = tr
 	}
@@ -305,6 +314,11 @@ func runSpec(opt Options, idx int, spec jvm.RunSpec) *jvm.Result {
 	if opt.Check != nil {
 		ck = check.New()
 		ck.Attach(tr)
+	}
+	var an *postmortem.Analyzer
+	if opt.PostmortemDir != "" && idx >= 0 {
+		an = postmortem.New()
+		an.Attach(tr)
 	}
 	capture := opt.Timeline != nil && idx == opt.Timeline.Cell
 	if capture {
@@ -321,6 +335,12 @@ func runSpec(opt Options, idx int, spec jvm.RunSpec) *jvm.Result {
 	if tr != nil && opt.TraceDir != "" && idx >= 0 {
 		if err := writeCellTrace(opt.TraceDir, idx, tr); err != nil {
 			panic(fmt.Sprintf("experiment trace export failed: %v", err))
+		}
+	}
+	if an != nil {
+		an.Finish()
+		if err := writeCellPostmortem(opt.PostmortemDir, idx, an); err != nil {
+			panic(fmt.Sprintf("experiment postmortem export failed: %v", err))
 		}
 	}
 	if capture {
@@ -350,6 +370,21 @@ func writeCellTrace(dir string, idx int, tr *evtrace.Tracer) error {
 		return err
 	}
 	err = evtrace.WritePerfetto(f, tr)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeCellPostmortem exports one cell's pause postmortem as
+// PostmortemDir/postmortem-NNN.json (cell numbering shared with
+// writeCellTrace).
+func writeCellPostmortem(dir string, idx int, an *postmortem.Analyzer) error {
+	f, err := os.Create(filepath.Join(dir, fmt.Sprintf("postmortem-%03d.json", idx)))
+	if err != nil {
+		return err
+	}
+	err = gclog.WritePostmortemJSON(f, an)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/postmortem"
 	"repro/internal/runner"
 )
 
@@ -173,6 +174,62 @@ func TestGoldenScale4CheckEnabled(t *testing.T) {
 	if b.String() != string(golden) {
 		t.Fatalf("scale-4 render with checking enabled differs from golden fixture:\n%s",
 			firstDiff(string(golden), b.String()))
+	}
+}
+
+// TestGoldenScale4PostmortemEnabled asserts the postmortem contract: the
+// full scale-4 evaluation with pause-postmortem attribution attached to
+// every cell renders byte-identically to the committed golden fixture —
+// attribution only subscribes to the event bus, it never perturbs a run.
+// It also spot-checks the per-cell exports: every experiment wrote at
+// least one postmortem, and each sampled file parses under the schema and
+// passes the bucket-sum invariant. Skipped under -short and -race like
+// the other golden checks.
+func TestGoldenScale4PostmortemEnabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite postmortem determinism check skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full-suite postmortem determinism check skipped under -race")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_scale4_seed42.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	for _, e := range All() {
+		opt := Options{Seed: 42, Scale: 4, Jobs: 4, PostmortemDir: filepath.Join(dir, e.ID)}
+		if err := os.MkdirAll(opt.PostmortemDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		e.Run(opt).Render(&b)
+	}
+	if b.String() != string(golden) {
+		t.Fatalf("scale-4 render with postmortem enabled differs from golden fixture:\n%s",
+			firstDiff(string(golden), b.String()))
+	}
+	for _, e := range All() {
+		files, err := filepath.Glob(filepath.Join(dir, e.ID, "postmortem-*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Errorf("%s wrote no cell postmortems", e.ID)
+			continue
+		}
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := postmortem.ParseJSON(data)
+		if err != nil {
+			t.Errorf("%s: %s: %v", e.ID, files[0], err)
+			continue
+		}
+		if bad := ex.Verify(); len(bad) != 0 {
+			t.Errorf("%s: %s: sum invariant: %v", e.ID, files[0], bad)
+		}
 	}
 }
 

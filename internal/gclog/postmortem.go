@@ -1,0 +1,15 @@
+package gclog
+
+import (
+	"io"
+
+	"repro/internal/postmortem"
+)
+
+// WritePostmortemJSON writes a run's pause postmortem as JSON — the
+// observability sibling of WriteRunJSON, carrying the per-collection
+// blame decomposition instead of the GC log. The schema is
+// postmortem.ExportSchema; cmd/gcreport compares and verifies the files.
+func WritePostmortemJSON(w io.Writer, an *postmortem.Analyzer) error {
+	return an.Export().WriteJSON(w)
+}

@@ -1,0 +1,88 @@
+package postmortem_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evtrace"
+	"repro/internal/jvm"
+	"repro/internal/postmortem"
+)
+
+func runWithAttribution(t *testing.T, cfg core.Config) (*jvm.Result, *postmortem.Analyzer) {
+	t.Helper()
+	spec, err := core.BuildRunSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small ring is fine: the analyzer subscribes, so it sees the whole
+	// stream regardless of ring retention.
+	tr := evtrace.New(64)
+	spec.EvTracer = tr
+	an := postmortem.New()
+	an.Attach(tr)
+	res, err := jvm.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.Finish()
+	return res, an
+}
+
+// TestRealRunSumInvariant runs a real simulation and asserts the sum
+// invariant holds for every collection: buckets sum to pause wall time
+// exactly, with one report per collection.
+func TestRealRunSumInvariant(t *testing.T) {
+	res, an := runWithAttribution(t, core.Config{
+		Benchmark: "lusearch", Mutators: 8, GCThreads: 4, Seed: core.DefaultSeed,
+	})
+	reports := an.Reports()
+	if want := int(res.MinorGCs + res.MajorGCs); len(reports) != want {
+		t.Fatalf("got %d reports, want %d (minor %d + major %d)",
+			len(reports), want, res.MinorGCs, res.MajorGCs)
+	}
+	for i := range reports {
+		r := &reports[i]
+		if r.PauseNs() <= 0 {
+			t.Errorf("gc %d: non-positive pause %d", r.Seq, r.PauseNs())
+		}
+		if got, want := r.Sum(), r.PauseNs(); got != want {
+			t.Errorf("gc %d (%s): buckets sum %d != pause %d (diff %d)",
+				r.Seq, r.Kind, got, want, got-want)
+		}
+		if r.Workers != res.GCThreads {
+			t.Errorf("gc %d: workers %d, want %d", r.Seq, r.Workers, res.GCThreads)
+		}
+	}
+	if bad := an.Export().Verify(); len(bad) != 0 {
+		t.Errorf("export verify: %v", bad)
+	}
+}
+
+// TestFig10PathologyDiagnosis reproduces the paper's §3 diagnosis on the
+// Fig. 10 vanilla workload: the pause is dominated by the serialized
+// jmutex handoff / thread stacking family, not by productive work.
+func TestFig10PathologyDiagnosis(t *testing.T) {
+	_, an := runWithAttribution(t, core.Config{
+		Benchmark: "lusearch", Mutators: 16,
+		Optimizations: core.OptNone, Seed: core.DefaultSeed,
+	})
+	pm := an.Postmortem()
+	if pm.Collections == 0 {
+		t.Fatal("no collections observed")
+	}
+	var buf bytes.Buffer
+	pm.Render(&buf)
+	t.Logf("vanilla lusearch postmortem:\n%s", buf.String())
+
+	serialization := pm.Totals[postmortem.BucketHandoff] + pm.Totals[postmortem.BucketIdle]
+	productive := pm.Totals[postmortem.BucketWork] + pm.Totals[postmortem.BucketSerial]
+	if serialization <= productive {
+		t.Errorf("expected handoff+idle (%d) to dominate work+serial (%d) on the vanilla workload",
+			serialization, productive)
+	}
+	if got := postmortem.Classify(pm.Totals); got != pm.Pathology {
+		t.Errorf("classify mismatch: %q vs %q", got, pm.Pathology)
+	}
+}

@@ -1,0 +1,294 @@
+package postmortem
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/evtrace"
+)
+
+// stream builds the canonical hand-built single-collection event stream:
+// one engine (instance 0), two workers, a 1700ns pause with 200ns init,
+// a 1400ns parallel window and a 100ns final-sync. Every interval's
+// expected bucket is computed by hand in TestHandBuiltAttribution.
+func emitHandBuiltStream(tr *evtrace.Tracer) {
+	emit := func(e evtrace.Event) { tr.Emit(e) }
+	const mgr = "GCTaskManager"
+
+	// Worker spawn: bind tids 100/101 to workers 0/1 of instance 0.
+	emit(evtrace.Event{Kind: evtrace.KWorkerBind, At: 0, Core: 0, TID: 100, Arg1: 0, Arg2: 0, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KWorkerBind, At: 0, Core: 0, TID: 101, Arg1: 1, Arg2: 0, Name: mgr})
+	// Both park on the manager before the first collection.
+	emit(evtrace.Event{Kind: evtrace.KLockBlock, At: 10, TID: 100, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KLockBlock, At: 10, TID: 101, Name: mgr})
+
+	// Collection: Start=1000, init until 1200, 4 tasks enqueued.
+	for id := int64(1); id <= 4; id++ {
+		emit(evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 1200, TID: -1, Arg1: id, Name: "task"})
+	}
+	// Worker 0: woken 1250, dispatched+reacquire 1300, fetches task 1 at
+	// 1320, works until 2000, fetches the steal task at 2050, fails twice,
+	// offers termination at 2200.
+	emit(evtrace.Event{Kind: evtrace.KLockUnblock, At: 1250, TID: 100, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KLockHandoff, At: 1300, TID: 100, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KGetTask, At: 1320, TID: 0, Arg2: 1, Name: "ScavengeRootsTask"})
+	// Worker 1: the serialized wake chain reaches it later (stacking).
+	emit(evtrace.Event{Kind: evtrace.KLockUnblock, At: 1400, TID: 101, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KLockHandoff, At: 1450, TID: 101, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KGetTask, At: 1470, TID: 1, Arg2: 2, Name: "ScavengeRootsTask"})
+	// Worker 0 finishes its root task (span emitted at task end).
+	emit(evtrace.Event{Kind: evtrace.KGCTask, At: 1320, Dur: 680, TID: 0, Arg1: 1, Name: "ScavengeRootsTask"})
+	emit(evtrace.Event{Kind: evtrace.KGetTask, At: 2050, TID: 0, Arg2: 3, Name: "StealTask"})
+	emit(evtrace.Event{Kind: evtrace.KStealFail, At: 2100, TID: 0, Arg1: 1})
+	emit(evtrace.Event{Kind: evtrace.KStealFail, At: 2150, TID: 0, Arg1: 1})
+	emit(evtrace.Event{Kind: evtrace.KTermOffer, At: 2200, TID: 0, Arg1: 1})
+	// Worker 1 finishes, steals briefly, offers termination.
+	emit(evtrace.Event{Kind: evtrace.KGCTask, At: 1470, Dur: 930, TID: 1, Arg1: 2, Name: "ScavengeRootsTask"})
+	emit(evtrace.Event{Kind: evtrace.KGetTask, At: 2450, TID: 1, Arg2: 4, Name: "StealTask"})
+	emit(evtrace.Event{Kind: evtrace.KTermOffer, At: 2500, TID: 1, Arg1: 2})
+	// Termination completes; the parallel phase ends here.
+	emit(evtrace.Event{Kind: evtrace.KTermDone, At: 2600, TID: -1, Arg1: 4, Arg2: 4, Name: mgr})
+	// Workers return to the manager and park again after the pause.
+	emit(evtrace.Event{Kind: evtrace.KLockHandoff, At: 2620, TID: 100, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KLockBlock, At: 2620, TID: 100, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KLockHandoff, At: 2630, TID: 101, Name: mgr})
+	emit(evtrace.Event{Kind: evtrace.KLockBlock, At: 2630, TID: 101, Name: mgr})
+
+	// Retrospective phase group (emitted by the VM thread after End=2700).
+	emit(evtrace.Event{Kind: evtrace.KGCSpan, At: 1000, Dur: 1700, TID: -1, Name: "minor", Arg1: 1, Arg2: 0})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 1000, Dur: 200, TID: -1, Name: "init", Arg1: 1, Arg2: 0})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 1200, Dur: 1400, TID: -1, Name: "parallel", Arg1: 1, Arg2: 0})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 2600, Dur: 100, TID: -1, Name: "final-sync", Arg1: 1, Arg2: 0})
+}
+
+func TestHandBuiltAttribution(t *testing.T) {
+	tr := evtrace.New(0)
+	an := New()
+	an.Attach(tr)
+	emitHandBuiltStream(tr)
+	an.Finish()
+
+	reports := an.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	r := &reports[0]
+	if r.Engine != 0 || r.Seq != 1 || r.Kind != "minor" {
+		t.Errorf("report identity = engine %d seq %d kind %q", r.Engine, r.Seq, r.Kind)
+	}
+	if r.PauseNs() != 1700 {
+		t.Errorf("pause = %d, want 1700", r.PauseNs())
+	}
+	if r.Workers != 2 {
+		t.Errorf("workers = %d, want 2", r.Workers)
+	}
+	if r.Sum() != r.PauseNs() {
+		t.Errorf("buckets sum %d != pause %d", r.Sum(), r.PauseNs())
+	}
+
+	// Hand-computed decomposition (per-worker totals averaged over 2):
+	//   worker0: handoff 120, cfs 50, work 680, steal 150, term 400
+	//   worker1: handoff 270, cfs 50, work 930, steal  50, term 100
+	want := [NumBuckets]int64{
+		BucketWork:      805,
+		BucketHandoff:   195,
+		BucketStealSpin: 100,
+		BucketTerm:      250,
+		BucketCFSWait:   50,
+		BucketIdle:      0,
+		BucketSerial:    300,
+	}
+	if r.Buckets != want {
+		t.Errorf("buckets = %v, want %v", r.Buckets, want)
+	}
+	if r.Dominant() != BucketWork {
+		t.Errorf("dominant = %v, want work", r.Dominant())
+	}
+	if r.SeqLo == 0 || r.SeqHi <= r.SeqLo {
+		t.Errorf("bad event window [%d..%d]", r.SeqLo, r.SeqHi)
+	}
+}
+
+func TestPostmortemRollupAndExport(t *testing.T) {
+	tr := evtrace.New(0)
+	an := New()
+	an.Attach(tr)
+	emitHandBuiltStream(tr)
+
+	pm := an.Postmortem()
+	if pm.Collections != 1 {
+		t.Fatalf("collections = %d", pm.Collections)
+	}
+	if pm.TotalPauseNs != 1700 {
+		t.Errorf("total pause = %d", pm.TotalPauseNs)
+	}
+	if len(pm.Worst) != 1 {
+		t.Errorf("worst len = %d", len(pm.Worst))
+	}
+	if pm.Pathology == "" {
+		t.Error("empty pathology")
+	}
+
+	ex := an.Export()
+	if bad := ex.Verify(); len(bad) != 0 {
+		t.Errorf("verify violations: %v", bad)
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	buf.Reset()
+	if err := an.Export().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != first {
+		t.Error("repeated export not byte-identical")
+	}
+	parsed, err := ParseJSON([]byte(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Collections != 1 || parsed.TotalPauseNs != 1700 {
+		t.Errorf("parsed roundtrip: collections %d, total %d", parsed.Collections, parsed.TotalPauseNs)
+	}
+	if bad := parsed.Verify(); len(bad) != 0 {
+		t.Errorf("parsed verify violations: %v", bad)
+	}
+
+	// Render must not panic and must carry the headline numbers.
+	var out bytes.Buffer
+	pm.Render(&out)
+	if !bytes.Contains(out.Bytes(), []byte("pause postmortem: 1 collections")) {
+		t.Errorf("render missing headline:\n%s", out.String())
+	}
+}
+
+// TestMultiEngineAttribution interleaves two engines' streams and checks
+// that each collection's sum invariant holds independently.
+func TestMultiEngineAttribution(t *testing.T) {
+	tr := evtrace.New(0)
+	an := New()
+	an.Attach(tr)
+	emit := func(e evtrace.Event) { tr.Emit(e) }
+
+	const mgr0, mgr1 = "GCTaskManager", "GCTaskManager#1"
+	id := func(inst, n int64) int64 { return inst<<32 | n }
+
+	emit(evtrace.Event{Kind: evtrace.KWorkerBind, At: 0, TID: 100, Arg1: 0, Arg2: 0, Name: mgr0})
+	emit(evtrace.Event{Kind: evtrace.KWorkerBind, At: 0, TID: 200, Arg1: 0, Arg2: 1, Name: mgr1})
+	emit(evtrace.Event{Kind: evtrace.KLockBlock, At: 5, TID: 100, Name: mgr0})
+	emit(evtrace.Event{Kind: evtrace.KLockBlock, At: 5, TID: 200, Name: mgr1})
+
+	// Engine 0 collects [1000,2000]; engine 1 overlaps at [1500,2500].
+	emit(evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 1100, TID: -1, Arg1: id(0, 1), Name: "task"})
+	emit(evtrace.Event{Kind: evtrace.KLockUnblock, At: 1150, TID: 100, Name: mgr0})
+	emit(evtrace.Event{Kind: evtrace.KLockHandoff, At: 1200, TID: 100, Name: mgr0})
+	emit(evtrace.Event{Kind: evtrace.KGetTask, At: 1220, TID: 0, Arg2: id(0, 1), Name: "ScavengeRootsTask"})
+
+	emit(evtrace.Event{Kind: evtrace.KTaskEnqueue, At: 1600, TID: -1, Arg1: id(1, 1), Name: "task"})
+	emit(evtrace.Event{Kind: evtrace.KLockUnblock, At: 1650, TID: 200, Name: mgr1})
+	emit(evtrace.Event{Kind: evtrace.KLockHandoff, At: 1700, TID: 200, Name: mgr1})
+	emit(evtrace.Event{Kind: evtrace.KGetTask, At: 1720, TID: 0, Arg2: id(1, 1), Name: "ScavengeRootsTask"})
+
+	emit(evtrace.Event{Kind: evtrace.KGCTask, At: 1220, Dur: 630, TID: 0, Arg1: id(0, 1), Name: "ScavengeRootsTask"})
+	emit(evtrace.Event{Kind: evtrace.KTermDone, At: 1900, TID: -1, Name: mgr0})
+	emit(evtrace.Event{Kind: evtrace.KLockBlock, At: 1910, TID: 100, Name: mgr0})
+	emit(evtrace.Event{Kind: evtrace.KGCSpan, At: 1000, Dur: 1000, TID: -1, Name: "minor", Arg1: 1, Arg2: 0})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 1000, Dur: 100, TID: -1, Name: "init", Arg1: 1, Arg2: 0})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 1100, Dur: 800, TID: -1, Name: "parallel", Arg1: 1, Arg2: 0})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 1900, Dur: 100, TID: -1, Name: "final-sync", Arg1: 1, Arg2: 0})
+
+	emit(evtrace.Event{Kind: evtrace.KGCTask, At: 1720, Dur: 680, TID: 0, Arg1: id(1, 1), Name: "ScavengeRootsTask"})
+	emit(evtrace.Event{Kind: evtrace.KTermDone, At: 2400, TID: -1, Name: mgr1})
+	emit(evtrace.Event{Kind: evtrace.KLockBlock, At: 2410, TID: 200, Name: mgr1})
+	emit(evtrace.Event{Kind: evtrace.KGCSpan, At: 1500, Dur: 1000, TID: -1, Name: "minor", Arg1: 1, Arg2: 1})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 1500, Dur: 100, TID: -1, Name: "init", Arg1: 1, Arg2: 1})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 1600, Dur: 800, TID: -1, Name: "parallel", Arg1: 1, Arg2: 1})
+	emit(evtrace.Event{Kind: evtrace.KGCPhase, At: 2400, Dur: 100, TID: -1, Name: "final-sync", Arg1: 1, Arg2: 1})
+
+	reports := an.Reports()
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for i := range reports {
+		r := &reports[i]
+		if r.Sum() != r.PauseNs() {
+			t.Errorf("engine %d: sum %d != pause %d", r.Engine, r.Sum(), r.PauseNs())
+		}
+		if r.PauseNs() != 1000 {
+			t.Errorf("engine %d: pause %d, want 1000", r.Engine, r.PauseNs())
+		}
+		// Single-worker engines: productive work must appear.
+		if r.Buckets[BucketWork] == 0 {
+			t.Errorf("engine %d: no work attributed: %v", r.Engine, r.Buckets)
+		}
+	}
+	if reports[0].Engine != 0 || reports[1].Engine != 1 {
+		t.Errorf("engine order: %d, %d", reports[0].Engine, reports[1].Engine)
+	}
+}
+
+// TestDisabledPathZeroAlloc asserts the when-disabled contract on the
+// layers' hot paths: with no analyzer attached, emitting the event kinds
+// the attribution consumes — simkit dispatch, cfs preemption, jmutex
+// handoff, taskq fetch, and the GC worker-bind — allocates nothing once
+// the rings are warm. (A nil tracer is free by evtrace's own tests; this
+// covers the enabled-tracer/no-subscriber configuration every gcsim run
+// without -postmortem uses.)
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	tr := evtrace.New(64)
+	events := []evtrace.Event{
+		{Kind: evtrace.KEvFire, At: 1},
+		{Kind: evtrace.KPreempt, At: 2, TID: 3},
+		{Kind: evtrace.KRunqPop, At: 3, TID: 3, Arg1: 1},
+		{Kind: evtrace.KLockHandoff, At: 4, TID: 3, Name: "GCTaskManager"},
+		{Kind: evtrace.KGetTask, At: 5, TID: 0, Arg1: 1},
+		{Kind: evtrace.KWorkerBind, At: 6, TID: 3, Arg1: 0, Name: "GCTaskManager"},
+	}
+	for i := 0; i < 100; i++ { // warm the per-layer rings
+		for _, e := range events {
+			tr.Emit(e)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, e := range events {
+			tr.Emit(e)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-path emit allocates %.1f per round, want 0", allocs)
+	}
+}
+
+// BenchmarkPostmortemAttribution replays the hand-built collection stream
+// through an attached analyzer; steady state must not allocate per event
+// (amortized report growth only).
+func BenchmarkPostmortemAttribution(b *testing.B) {
+	tr := evtrace.New(64)
+	an := New()
+	an.Attach(tr)
+	emitHandBuiltStream(tr) // warm up engine/worker state
+	events := tr.Events()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range events {
+			an.OnEvent(e)
+		}
+	}
+}
+
+// BenchmarkPostmortemDisabled is the bench-guard's 0-allocs-when-disabled
+// contract: emitting on a tracer without an attached analyzer must not
+// allocate in steady state.
+func BenchmarkPostmortemDisabled(b *testing.B) {
+	tr := evtrace.New(64)
+	emitHandBuiltStream(tr) // allocate the rings up front
+	ev := evtrace.Event{Kind: evtrace.KStealFail, At: 1, TID: 0, Arg1: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(ev)
+	}
+}

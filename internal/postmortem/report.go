@@ -1,0 +1,136 @@
+package postmortem
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Postmortem is the run-level roll-up of every PauseReport: totals,
+// distributions, the worst pauses, and the dominant pathology per the
+// paper's §3 taxonomy.
+type Postmortem struct {
+	Collections  int
+	TotalPauseNs int64
+	Totals       [NumBuckets]int64
+
+	// PauseMs is the pause distribution; BucketMs the per-bucket
+	// distributions (both in milliseconds).
+	PauseMs  stats.Histogram
+	BucketMs [NumBuckets]stats.Histogram
+
+	// Worst ranks the top pauses by wall time, descending.
+	Worst []PauseReport
+
+	// Pathology names the dominant §3 failure family for the run.
+	Pathology string
+}
+
+// WorstN is how many worst pauses a Postmortem retains.
+const WorstN = 8
+
+// Postmortem rolls the analyzer's reports up into the run-level view.
+func (an *Analyzer) Postmortem() *Postmortem {
+	if an == nil {
+		return buildPostmortem(nil)
+	}
+	return buildPostmortem(an.reports)
+}
+
+func buildPostmortem(reports []PauseReport) *Postmortem {
+	pm := &Postmortem{Collections: len(reports)}
+	for i := range reports {
+		r := &reports[i]
+		pm.TotalPauseNs += r.PauseNs()
+		pm.PauseMs.Add(float64(r.PauseNs()) / 1e6)
+		for b := Bucket(0); b < NumBuckets; b++ {
+			pm.Totals[b] += r.Buckets[b]
+			pm.BucketMs[b].Add(float64(r.Buckets[b]) / 1e6)
+		}
+	}
+	pm.Worst = append(pm.Worst, reports...)
+	sort.SliceStable(pm.Worst, func(i, j int) bool {
+		return pm.Worst[i].PauseNs() > pm.Worst[j].PauseNs()
+	})
+	if len(pm.Worst) > WorstN {
+		pm.Worst = pm.Worst[:WorstN]
+	}
+	pm.Pathology = Classify(pm.Totals)
+	return pm
+}
+
+// pathology families: buckets that share a §3 root cause. Classification
+// works on families rather than single buckets because the same root
+// cause splits across two observables (e.g. the serialized wake chain
+// shows up as handoff blame on parked workers and as idle stacking once
+// the queue drains).
+var families = []struct {
+	Name    string
+	Buckets []Bucket
+}{
+	{"productive work (healthy: pause dominated by scan/copy and serial phases)",
+		[]Bucket{BucketWork, BucketSerial}},
+	{"serialized task fetch / thread stacking (jmutex handoff, paper §3.2-3.3)",
+		[]Bucket{BucketHandoff, BucketIdle}},
+	{"steal + termination overhead (work starvation, paper §2.3)",
+		[]Bucket{BucketStealSpin, BucketTerm}},
+	{"CFS interference (preemption and migration gaps, paper §3.3)",
+		[]Bucket{BucketCFSWait}},
+}
+
+// Classify names the dominant pathology family for a bucket total vector.
+func Classify(totals [NumBuckets]int64) string {
+	best, bestSum := 0, int64(-1)
+	for i, f := range families {
+		var s int64
+		for _, b := range f.Buckets {
+			s += totals[b]
+		}
+		if s > bestSum {
+			best, bestSum = i, s
+		}
+	}
+	return families[best].Name
+}
+
+// Render writes the human postmortem report.
+func (pm *Postmortem) Render(w io.Writer) {
+	fmt.Fprintf(w, "pause postmortem: %d collections, total pause %.2fms\n",
+		pm.Collections, float64(pm.TotalPauseNs)/1e6)
+	if pm.Collections == 0 {
+		fmt.Fprintln(w, "  no completed collections observed (was tracing attached?)")
+		return
+	}
+	fmt.Fprintf(w, "  dominant pathology: %s\n", pm.Pathology)
+	fmt.Fprintf(w, "  pause(ms): p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		pm.PauseMs.Percentile(50), pm.PauseMs.Percentile(95),
+		pm.PauseMs.Percentile(99), pm.PauseMs.Percentile(100))
+	fmt.Fprintf(w, "  blame buckets (share of total pause; per-collection p95 in ms):\n")
+	for b := Bucket(0); b < NumBuckets; b++ {
+		share := 0.0
+		if pm.TotalPauseNs > 0 {
+			share = 100 * float64(pm.Totals[b]) / float64(pm.TotalPauseNs)
+		}
+		fmt.Fprintf(w, "    %-10s %10.2fms  %5.1f%%  p95=%.3f\n",
+			b.String(), float64(pm.Totals[b])/1e6, share,
+			pm.BucketMs[b].Percentile(95))
+	}
+	fmt.Fprintf(w, "  worst pauses:\n")
+	for i := range pm.Worst {
+		r := &pm.Worst[i]
+		fmt.Fprintf(w, "    #%d %s gc=%d pause=%.3fms dominant=%s (%.1f%%) events=[%d..%d]\n",
+			i+1, r.Kind, r.Seq, float64(r.PauseNs())/1e6,
+			r.Dominant().String(),
+			100*float64(r.Buckets[r.Dominant()])/float64(max64(r.PauseNs(), 1)),
+			r.SeqLo, r.SeqHi)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -130,6 +130,14 @@ func New(k *cfs.Kernel, h *heap.Heap, opt Options) *Engine {
 	for w := 0; w < n; w++ {
 		w := w
 		g.workers[w] = k.Spawn(fmt.Sprintf("GCTaskThread#%d", w), opt.SpawnCore, func(e *cfs.Env) {
+			if g.etr != nil {
+				// Bind the CFS thread id to the engine identity: worker
+				// names collide across multi-JVM instances, so attribution
+				// (internal/postmortem) keys on this instead of names.
+				g.etr.Emit(evtrace.Event{Kind: evtrace.KWorkerBind,
+					At: int64(e.Now()), Core: int32(e.Core()), TID: int32(e.T.ID),
+					Arg1: int64(w), Arg2: int64(g.Opt.Instance), Name: g.mgr.mon.Name})
+			}
 			if g.Opt.OnWorkerStart != nil {
 				g.Opt.OnWorkerStart(e, w)
 			}
@@ -437,15 +445,16 @@ func (g *Engine) emitPhases(rep *GCReport, fsStart simkit.Time) {
 		return
 	}
 	parStart := rep.Start + rep.InitTime
+	inst := int64(g.Opt.Instance)
 	g.etr.Emit(evtrace.Event{Kind: evtrace.KGCSpan, At: int64(rep.Start),
 		Dur: int64(rep.End - rep.Start), Core: -1, TID: -1,
-		Name: rep.Kind.String(), Arg1: int64(rep.Seq)})
+		Name: rep.Kind.String(), Arg1: int64(rep.Seq), Arg2: inst})
 	g.etr.Emit(evtrace.Event{Kind: evtrace.KGCPhase, At: int64(rep.Start),
-		Dur: int64(rep.InitTime), Core: -1, TID: -1, Name: "init", Arg1: int64(rep.Seq)})
+		Dur: int64(rep.InitTime), Core: -1, TID: -1, Name: "init", Arg1: int64(rep.Seq), Arg2: inst})
 	g.etr.Emit(evtrace.Event{Kind: evtrace.KGCPhase, At: int64(parStart),
-		Dur: int64(fsStart - parStart), Core: -1, TID: -1, Name: "parallel", Arg1: int64(rep.Seq)})
+		Dur: int64(fsStart - parStart), Core: -1, TID: -1, Name: "parallel", Arg1: int64(rep.Seq), Arg2: inst})
 	g.etr.Emit(evtrace.Event{Kind: evtrace.KGCPhase, At: int64(fsStart),
-		Dur: int64(rep.End - fsStart), Core: -1, TID: -1, Name: "final-sync", Arg1: int64(rep.Seq)})
+		Dur: int64(rep.End - fsStart), Core: -1, TID: -1, Name: "final-sync", Arg1: int64(rep.Seq), Arg2: inst})
 }
 
 // publishMetrics republishes the layers' counters into the unified

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 
 	"repro/internal/experiments"
@@ -207,7 +208,16 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	wg.Wait()
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the metrics snapshot. JSON is the default; a
+// client whose Accept header asks for text/plain (the convention of
+// Prometheus scrapers) gets the text exposition format with latency
+// summaries instead.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jvm"
+	"repro/internal/postmortem"
 	"repro/internal/workload"
 )
 
@@ -131,6 +132,60 @@ type Prediction struct {
 	// RunError reports a simulation-level outcome (e.g. OutOfMemoryError)
 	// — itself deterministic, hence cacheable.
 	RunError string `json:"run_error,omitempty"`
+
+	// Blame is the pause-postmortem summary: where the collections' wall
+	// time went (blame buckets) and the dominant §3 pathology family.
+	// Deterministic per digest like every other field, so cached bodies
+	// carry it byte-identically.
+	Blame *BlameSummary `json:"blame,omitempty"`
+}
+
+// BlameSummary condenses a run's pause postmortem for the wire: total
+// milliseconds and share of pause per blame bucket, the dominant bucket,
+// and the classified pathology family.
+type BlameSummary struct {
+	Pathology string       `json:"pathology"`
+	Dominant  string       `json:"dominant"`
+	Buckets   []BlameShare `json:"buckets"`
+}
+
+// BlameShare is one bucket's slice of the run's total pause.
+type BlameShare struct {
+	Name  string  `json:"name"`
+	Ms    float64 `json:"ms"`
+	Share float64 `json:"share"`
+}
+
+// blameOf folds the analyzer's roll-up into the wire summary (nil when no
+// collection completed — e.g. a run that OOMed before its first GC).
+func blameOf(an *postmortem.Analyzer) *BlameSummary {
+	pm := an.Postmortem()
+	if pm.Collections == 0 {
+		return nil
+	}
+	dominant := postmortem.Bucket(0)
+	for b := postmortem.Bucket(1); b < postmortem.NumBuckets; b++ {
+		if pm.Totals[b] > pm.Totals[dominant] {
+			dominant = b
+		}
+	}
+	bs := &BlameSummary{
+		Pathology: pm.Pathology,
+		Dominant:  dominant.String(),
+		Buckets:   make([]BlameShare, postmortem.NumBuckets),
+	}
+	for b := postmortem.Bucket(0); b < postmortem.NumBuckets; b++ {
+		share := 0.0
+		if pm.TotalPauseNs > 0 {
+			share = float64(pm.Totals[b]) / float64(pm.TotalPauseNs)
+		}
+		bs.Buckets[b] = BlameShare{
+			Name:  b.String(),
+			Ms:    float64(pm.Totals[b]) / 1e6,
+			Share: share,
+		}
+	}
+	return bs
 }
 
 // predict folds a finished run into its response shape.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evtrace"
 	"repro/internal/jvm"
+	"repro/internal/postmortem"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -88,7 +90,15 @@ type Service struct {
 	sweeps    atomic.Int64 // sweep grids expanded
 	runErrors atomic.Int64 // simulations that failed outright
 
-	latency stats.Histogram // per-request service time, milliseconds
+	// Per-request service time, milliseconds: overall plus one histogram
+	// per outcome — a cold run costs a whole simulation, a hit costs an
+	// LRU probe, coalesced waiters pay the tail of someone else's run, so
+	// lumping them into one distribution hides the service's actual
+	// behaviour.
+	latency      stats.Histogram
+	latCold      stats.Histogram // OutcomeMiss: executed the simulation
+	latHit       stats.Histogram // OutcomeHit: served from the LRU
+	latCoalesced stats.Histogram // OutcomeCoalesced: joined an in-flight run
 }
 
 // New starts a Service: one dispatcher goroutine batching admitted
@@ -137,9 +147,20 @@ const (
 // in-flight simulation, or admit a new job into the batch executor. The
 // returned body is the exact cached byte slice — callers must not mutate
 // it.
-func (s *Service) Run(ctx context.Context, scn Scenario) ([]byte, Outcome, error) {
+func (s *Service) Run(ctx context.Context, scn Scenario) (body []byte, out Outcome, err error) {
 	t0 := time.Now()
-	defer func() { s.latency.Add(float64(time.Since(t0)) / 1e6) }()
+	defer func() {
+		ms := float64(time.Since(t0)) / 1e6
+		s.latency.Add(ms)
+		switch out {
+		case OutcomeMiss:
+			s.latCold.Add(ms)
+		case OutcomeHit:
+			s.latHit.Add(ms)
+		case OutcomeCoalesced:
+			s.latCoalesced.Add(ms)
+		}
+	}()
 	s.requests.Add(1)
 
 	cfg, err := scn.Config()
@@ -250,6 +271,14 @@ func (s *Service) runJob(j *job) {
 		sc = new(jvm.Scratch)
 	}
 	j.spec.Scratch = sc
+	// Every simulation carries a pause-postmortem analyzer: blame
+	// attribution subscribes to the event bus (a small ring suffices — the
+	// subscriber sees the whole stream) and never perturbs the run, so the
+	// cached body stays deterministic per digest.
+	tr := evtrace.New(64)
+	j.spec.EvTracer = tr
+	an := postmortem.New()
+	an.Attach(tr)
 	res, err := jvm.Run(j.spec)
 	s.pool.PutScratch(sc)
 	s.runs.Add(1)
@@ -259,7 +288,10 @@ func (s *Service) runJob(j *job) {
 		s.finish(j)
 		return
 	}
-	body, err := json.Marshal(predict(j.digest, res))
+	an.Finish()
+	p := predict(j.digest, res)
+	p.Blame = blameOf(an)
+	body, err := json.Marshal(p)
 	if err != nil {
 		j.err = err
 		s.finish(j)
@@ -287,8 +319,22 @@ func (e *BadScenarioError) Unwrap() error { return e.Err }
 
 // Metrics snapshots the service counters into the unified metrics
 // registry's export shape (sorted []evtrace.Metric), the same namespace
-// convention the simulator's own layers publish under.
+// convention the simulator's own layers publish under. Latency histograms
+// expand into .p50/.p95/.p99/.count/.sum entries.
 func (s *Service) Metrics() []evtrace.Metric {
+	return s.registry().Current()
+}
+
+// WritePrometheus writes the same snapshot in Prometheus text exposition
+// format (counters, gauges, and latency summaries with quantile labels).
+func (s *Service) WritePrometheus(w io.Writer) error {
+	return s.registry().WritePrometheus(w)
+}
+
+// registry snapshots the counters, gauges, and latency histograms into a
+// fresh metrics registry — the single source both exposition formats
+// (JSON via Metrics, Prometheus text via WritePrometheus) render from.
+func (s *Service) registry() *evtrace.Registry {
 	reg := evtrace.NewRegistry()
 	reg.Counter("service.requests").Set(s.requests.Load())
 	reg.Counter("service.cache_hits").Set(s.hits.Load())
@@ -311,11 +357,22 @@ func (s *Service) Metrics() []evtrace.Metric {
 		reg.Gauge("service.latency_p99_ms").Set(s.latency.Percentile(99))
 		reg.Gauge("service.rps").Set(float64(s.requests.Load()) / time.Since(s.started).Seconds())
 	}
+	hist := func(name string, h *stats.Histogram) {
+		if h.N() == 0 {
+			return
+		}
+		eh := reg.Histogram(name)
+		h.Each(eh.Observe)
+	}
+	hist("service.latency_ms", &s.latency)
+	hist("service.latency_cold_ms", &s.latCold)
+	hist("service.latency_hit_ms", &s.latHit)
+	hist("service.latency_coalesced_ms", &s.latCoalesced)
 	_, busy := s.pool.Stats()
 	wall := time.Since(s.started)
 	if wall > 0 && s.pool.Workers() > 0 {
 		reg.Gauge("service.worker_busy_frac").Set(
 			float64(busy) / (float64(wall) * float64(s.pool.Workers())))
 	}
-	return reg.Current()
+	return reg
 }

@@ -78,6 +78,16 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.sorted[rank]
 }
 
+// Each calls fn with every recorded sample in insertion order. The mutex
+// is held across the iteration, so fn must not call back into h.
+func (h *Histogram) Each(fn func(float64)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, v := range h.samples {
+		fn(v)
+	}
+}
+
 // Median is Percentile(50).
 func (h *Histogram) Median() float64 { return h.Percentile(50) }
 
