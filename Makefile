@@ -7,7 +7,8 @@ GO ?= go
 
 .PHONY: build test race vet fmt-check bench check check-invariants results \
 	bench-smoke bench-guard bench-baseline bench-benchstat bench-compare \
-	trace-smoke bench-json benchjson-smoke serve-smoke postmortem-smoke
+	trace-smoke bench-json benchjson-smoke serve-smoke postmortem-smoke \
+	fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -28,7 +29,7 @@ fmt-check:
 race:
 	$(GO) test -race ./...
 
-check: fmt-check vet race check-invariants bench-smoke bench-guard benchjson-smoke serve-smoke postmortem-smoke
+check: fmt-check vet race check-invariants bench-smoke bench-guard benchjson-smoke serve-smoke postmortem-smoke fleet-smoke
 
 # Correctness harness: race-test the checker package itself, then run a
 # 32-cell smoke slice of the seed-sweep property harness (a prefix of the
@@ -86,7 +87,9 @@ bench-json:
 		-bench 'BenchmarkHeapAlloc$$|BenchmarkMinorGCTrace$$' \
 		./internal/heap/ ; \
 	  $(GO) test -run XXX -benchtime 1x -benchmem \
-		-bench 'BenchmarkFig10$$|BenchmarkVanillaJVM$$|BenchmarkOptimizedJVM$$' . ; } \
+		-bench 'BenchmarkFig10$$|BenchmarkVanillaJVM$$|BenchmarkOptimizedJVM$$' . ; \
+	  $(GO) test -run XXX -benchtime 1x -benchmem \
+		-bench 'BenchmarkFleetSweep$$' ./internal/fleet/ ; } \
 	| $(GO) run ./cmd/benchjson $(BENCHJSON_FLAGS) -o $(BENCH_JSON_OUT)
 	@echo "wrote $(BENCH_JSON_OUT)"
 
@@ -163,6 +166,24 @@ postmortem-smoke:
 	$(GO) run ./cmd/gcreport -verify $(POSTMORTEM_SMOKE_OUT)
 	$(GO) test ./internal/postmortem/
 	$(GO) test -run 'TestGoldenScale4PostmortemEnabled' ./internal/experiments/
+
+# Fleet determinism smoke test, race-enabled: a 1k-cell multi-process
+# sweep with a mid-shard worker kill injected must produce a clean report
+# (exit 0 requires zero failed cells, violations, and drops) that is
+# byte-identical to an unperturbed single-worker run of the same cell
+# space — the gcsim-sweep/v1 determinism oracle as a CI gate. The fleet
+# unit suite (protocol fuzz corpus, recovery matrix) runs under -race via
+# `make race`; this target exercises the real sweepd binary end to end.
+FLEET_SMOKE_DIR ?= /tmp/gcsim-fleet-smoke
+fleet-smoke:
+	rm -rf $(FLEET_SMOKE_DIR) && mkdir -p $(FLEET_SMOKE_DIR)
+	$(GO) build -race -o $(FLEET_SMOKE_DIR)/sweepd ./cmd/sweepd
+	$(FLEET_SMOKE_DIR)/sweepd -cells 1000 -workers 1 -shards 1 -no-steal \
+		-items 150 -skip-bare -quiet -out $(FLEET_SMOKE_DIR)/baseline.json
+	$(FLEET_SMOKE_DIR)/sweepd -cells 1000 -workers 2 -kill-worker-after 5 \
+		-items 150 -skip-bare -out $(FLEET_SMOKE_DIR)/killed.json
+	cmp $(FLEET_SMOKE_DIR)/baseline.json $(FLEET_SMOKE_DIR)/killed.json
+	@rm -rf $(FLEET_SMOKE_DIR); echo "fleet-smoke: reports byte-identical under injected worker kill"
 
 # Regenerate the committed full evaluation output (seed 42, all cores);
 # EXPERIMENTS.md explains how to read it.

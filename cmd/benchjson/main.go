@@ -27,6 +27,8 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+
+	"repro/internal/cmdutil"
 	"strings"
 	"time"
 )
@@ -63,35 +65,45 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		os.Exit(compareMain(os.Args[2:], os.Stdout))
 	}
-	out := flag.String("o", "", "write JSON here instead of stdout")
-	force := flag.Bool("force", false, "overwrite an existing -o file (by default an existing snapshot is preserved)")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(argv []string) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "", "write JSON here instead of stdout")
+	force := fs.Bool("force", false, "overwrite an existing -o file (by default an existing snapshot is preserved)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	art, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if len(art.Bench) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
-		os.Exit(1)
+		return 1
 	}
 	w := io.Writer(os.Stdout)
+	var outs []*cmdutil.Output
 	if *out != "" {
 		f, err := openOut(*out, *force)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		defer f.Close()
-		w = f
+		o := cmdutil.WrapFile(f)
+		outs = append(outs, o)
+		w = o
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(art); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return cmdutil.Exit(1, outs...)
 	}
+	return cmdutil.Exit(0, outs...)
 }
 
 // openOut opens the -o target. Benchmark snapshots are history (a same-day

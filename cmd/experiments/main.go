@@ -23,6 +23,7 @@ import (
 	"runtime/trace"
 	"time"
 
+	"repro/internal/cmdutil"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/schedtrace"
@@ -128,19 +129,16 @@ func realMain() error {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
+		// Close on every exit path (including experiment errors) and
+		// surface write and Close errors so a full disk is not reported
+		// as success (table rendering itself ignores fmt errors; the
+		// buffered Output retains the first failure and Close reports it).
+		o, err := cmdutil.NewOutput(*out)
 		if err != nil {
 			return err
 		}
-		// Close on every exit path (including experiment errors) and
-		// surface write and Close errors so a full disk is not reported
-		// as success (table rendering itself ignores fmt errors).
-		ew := &errWriter{w: f}
-		err = runExperiments(ew, todo, ropt)
-		if err == nil {
-			err = ew.err
-		}
-		if cerr := f.Close(); err == nil {
+		err = runExperiments(o, todo, ropt)
+		if cerr := o.Close(); err == nil {
 			err = cerr
 		}
 		return err
@@ -157,20 +155,6 @@ type runOptions struct {
 	postmortemDir string
 	timeline      int                         // cell index to render, -1 = off
 	check         *experiments.CheckCollector // non-nil when -check is set
-}
-
-// errWriter remembers the first write error on the -o file.
-type errWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (e *errWriter) Write(p []byte) (int, error) {
-	n, err := e.w.Write(p)
-	if err != nil && e.err == nil {
-		e.err = err
-	}
-	return n, err
 }
 
 func runExperiments(w io.Writer, todo []experiments.Experiment, ro runOptions) error {

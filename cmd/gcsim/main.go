@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/check"
+	"repro/internal/cmdutil"
 	"repro/internal/core"
 	"repro/internal/evtrace"
 	"repro/internal/gclog"
@@ -25,35 +26,60 @@ import (
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(argv []string) int {
+	fs := flag.NewFlagSet("gcsim", flag.ContinueOnError)
 	var (
-		bench    = flag.String("bench", "lusearch", "benchmark name (see -list)")
-		list     = flag.Bool("list", false, "list available benchmarks and exit")
-		mutators = flag.Int("mutators", 16, "number of mutator threads")
-		gcth     = flag.Int("gcthreads", 0, "GC threads (0 = HotSpot heuristic)")
-		heapMB   = flag.Int("heap", 0, "heap size in MB (0 = Table-2 default)")
-		opt      = flag.String("opt", "none", "optimizations: none|affinity|steal|all")
-		compare  = flag.Bool("compare", false, "run vanilla and optimized, print both")
-		clients  = flag.Int("clients", 64, "closed-loop clients (server benchmarks)")
-		requests = flag.Int("requests", 10000, "total requests (server benchmarks)")
-		busy     = flag.Int("busyloops", 0, "interfering busy-loop threads")
-		smt      = flag.Bool("smt", false, "enable SMT (40 logical CPUs)")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		gclogF   = flag.Bool("gclog", false, "print a HotSpot-style GC log")
-		gcjson   = flag.String("gcjson", "", "write the run (GC log + monitor/steal/metrics counters) as JSON to a file")
-		timeline = flag.Bool("timeline", false, "render a scheduling timeline around a mid-run GC")
-		runs     = flag.Int("runs", 1, "average over this many seeds (the paper averages 10 runs)")
+		bench    = fs.String("bench", "lusearch", "benchmark name (see -list)")
+		list     = fs.Bool("list", false, "list available benchmarks and exit")
+		mutators = fs.Int("mutators", 16, "number of mutator threads")
+		gcth     = fs.Int("gcthreads", 0, "GC threads (0 = HotSpot heuristic)")
+		heapMB   = fs.Int("heap", 0, "heap size in MB (0 = Table-2 default)")
+		opt      = fs.String("opt", "none", "optimizations: none|affinity|steal|all")
+		compare  = fs.Bool("compare", false, "run vanilla and optimized, print both")
+		clients  = fs.Int("clients", 64, "closed-loop clients (server benchmarks)")
+		requests = fs.Int("requests", 10000, "total requests (server benchmarks)")
+		busy     = fs.Int("busyloops", 0, "interfering busy-loop threads")
+		smt      = fs.Bool("smt", false, "enable SMT (40 logical CPUs)")
+		seed     = fs.Int64("seed", 42, "simulation seed")
+		gclogF   = fs.Bool("gclog", false, "print a HotSpot-style GC log")
+		gcjson   = fs.String("gcjson", "", "write the run (GC log + monitor/steal/metrics counters) as JSON to a file")
+		timeline = fs.Bool("timeline", false, "render a scheduling timeline around a mid-run GC")
+		runs     = fs.Int("runs", 1, "average over this many seeds (the paper averages 10 runs)")
 
-		evtraceOut = flag.String("evtrace", "", "write a Perfetto trace-event JSON file (load in ui.perfetto.dev)")
-		evtraceCap = flag.Int("evtrace-cap", evtrace.DefaultSinkCap, "event-ring capacity per layer (oldest events are dropped beyond this)")
-		lockprof   = flag.Bool("lockprofile", false, "print the GCTaskManager lock-contention profile (ownership transitions, reacquisition runs)")
-		metricsF   = flag.Bool("metrics", false, "print the unified metrics registry after the run")
-		checkF     = flag.Bool("check", false, "run the cross-layer invariant checker online (exit 1 on violation)")
+		evtraceOut = fs.String("evtrace", "", "write a Perfetto trace-event JSON file (load in ui.perfetto.dev)")
+		evtraceCap = fs.Int("evtrace-cap", evtrace.DefaultSinkCap, "event-ring capacity per layer (oldest events are dropped beyond this)")
+		lockprof   = fs.Bool("lockprofile", false, "print the GCTaskManager lock-contention profile (ownership transitions, reacquisition runs)")
+		metricsF   = fs.Bool("metrics", false, "print the unified metrics registry after the run")
+		checkF     = fs.Bool("check", false, "run the cross-layer invariant checker online (exit 1 on violation)")
 
-		postmortemF    = flag.Bool("postmortem", false, "attribute every pause to blame buckets and print the run postmortem")
-		postmortemJSON = flag.String("postmortem-json", "", "write the pause postmortem as JSON to a file (compare with cmd/gcreport)")
-		postmortemWin  = flag.String("postmortem-trace", "", "write a Perfetto trace window around the worst pause to a file")
+		postmortemF    = fs.Bool("postmortem", false, "attribute every pause to blame buckets and print the run postmortem")
+		postmortemJSON = fs.String("postmortem-json", "", "write the pause postmortem as JSON to a file (compare with cmd/gcreport)")
+		postmortemWin  = fs.String("postmortem-trace", "", "write a Perfetto trace window around the worst pause to a file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	// Every file output registers here, and every exit path funnels
+	// through exit/fail, so buffered artifacts are flushed and closed no
+	// matter which branch ends the run — the old direct os.Exit calls
+	// skipped the deferred closes.
+	var outs []*cmdutil.Output
+	newOut := func(path string) (*cmdutil.Output, error) {
+		o, err := cmdutil.NewOutput(path)
+		if err == nil {
+			outs = append(outs, o)
+		}
+		return o, err
+	}
+	exit := func(code int) int { return cmdutil.Exit(code, outs...) }
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "gcsim:", err)
+		return exit(1)
+	}
 
 	if *list {
 		tab := stats.NewTable("benchmarks", "name", "suite", "heap(MB)", "class")
@@ -65,7 +91,7 @@ func main() {
 			tab.AddRow(b.Name, b.Suite, b.HeapMB, class)
 		}
 		tab.Render(os.Stdout)
-		return
+		return 0
 	}
 
 	levels := map[string]core.Optimizations{
@@ -75,7 +101,7 @@ func main() {
 	level, ok := levels[*opt]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "gcsim: unknown -opt %q (none|affinity|steal|all)\n", *opt)
-		os.Exit(2)
+		return 2
 	}
 
 	cfg := core.Config{
@@ -87,31 +113,33 @@ func main() {
 
 	if *timeline {
 		if err := renderTimeline(cfg); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 
 	if *compare {
 		if *runs > 1 {
-			compareRuns(cfg, *runs)
-			return
+			if err := compareRuns(cfg, *runs); err != nil {
+				return fail(err)
+			}
+			return 0
 		}
 		van, optres, err := core.Compare(cfg)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		report("vanilla", van, *gclogF)
 		report("optimized", optres, *gclogF)
 		fmt.Printf("improvement: total %.1f%%, GC %.1f%%\n",
 			100*stats.Improvement(float64(van.TotalTime), float64(optres.TotalTime)),
 			100*stats.Improvement(float64(van.GCTime), float64(optres.GCTime)))
-		return
+		return 0
 	}
 
 	spec, err := core.BuildRunSpec(cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	// Observability hooks: the event tracer feeds both the Perfetto export
 	// and the lock profiler; the registry feeds -metrics and -gcjson.
@@ -138,7 +166,7 @@ func main() {
 	}
 	res, err := jvm.Run(spec)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	report(*opt, res, *gclogF)
 	if checker != nil {
@@ -152,49 +180,37 @@ func main() {
 		analyzer.Postmortem().Render(os.Stdout)
 	}
 	if *postmortemJSON != "" {
-		f, err := os.Create(*postmortemJSON)
+		f, err := newOut(*postmortemJSON)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := gclog.WritePostmortemJSON(f, analyzer); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 	if *postmortemWin != "" {
 		reports := analyzer.Postmortem().Worst
 		if len(reports) == 0 {
-			fail(fmt.Errorf("-postmortem-trace: no collections observed"))
+			return fail(fmt.Errorf("-postmortem-trace: no collections observed"))
 		}
 		worst := reports[0]
-		f, err := os.Create(*postmortemWin)
+		f, err := newOut(*postmortemWin)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := evtrace.WritePerfettoWindow(f, tracer, worst.SeqLo, worst.SeqHi); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Printf("wrote worst-pause window (gc=%d pause=%.3fms events=[%d..%d]) to %s\n",
 			worst.Seq, float64(worst.PauseNs())/1e6, worst.SeqLo, worst.SeqHi, *postmortemWin)
 	}
 	if *evtraceOut != "" {
-		f, err := os.Create(*evtraceOut)
+		f, err := newOut(*evtraceOut)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := evtrace.WritePerfetto(f, tracer); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Printf("wrote %d trace events to %s (open in https://ui.perfetto.dev)\n", tracer.Len(), *evtraceOut)
 		drops := tracer.Drops()
@@ -212,18 +228,20 @@ func main() {
 		reg.Render(os.Stdout)
 	}
 	if *gcjson != "" {
-		f, err := os.Create(*gcjson)
+		f, err := newOut(*gcjson)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		defer f.Close()
 		if err := gclog.WriteRunJSON(f, res.Reports, res.Monitor, res.Steal, reg.Current()); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	}
 	if checker != nil && checker.Total() > 0 {
-		os.Exit(1)
+		// The -gcjson artifact of a violating run is still flushed whole:
+		// a checker failure must not truncate the evidence.
+		return exit(1)
 	}
+	return exit(0)
 }
 
 func report(label string, r *core.Result, printLog bool) {
@@ -278,14 +296,14 @@ func renderTimeline(cfg core.Config) error {
 
 // compareRuns averages vanilla and optimized over several seeds — the
 // paper's methodology ("each result was the average of 10 runs").
-func compareRuns(cfg core.Config, runs int) {
+func compareRuns(cfg core.Config, runs int) error {
 	var vanTot, vanGC, optTot, optGC stats.Histogram
 	for i := 0; i < runs; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
 		van, opt, err := core.Compare(c)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		vanTot.Add(van.TotalTime.Millis())
 		vanGC.Add(van.GCTime.Millis())
@@ -306,9 +324,5 @@ func compareRuns(cfg core.Config, runs int) {
 	fmt.Printf("mean improvement: total %.1f%%, GC %.1f%%\n",
 		100*stats.Improvement(vanTot.Mean(), optTot.Mean()),
 		100*stats.Improvement(vanGC.Mean(), optGC.Mean()))
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "gcsim:", err)
-	os.Exit(1)
+	return nil
 }

@@ -8,7 +8,9 @@
 // On failure it reports the minimal failing cell — the lowest-index one,
 // which reproduces from the base seed alone — and, when -out is given,
 // writes the pre-violation window of that cell's event bus as Perfetto
-// trace-event JSON for triage in ui.perfetto.dev.
+// trace-event JSON for triage in ui.perfetto.dev. All exits route through
+// cmdutil.Exit so that file is flushed and closed even on the failure
+// path.
 //
 // Exit status: 0 when every cell is clean, 1 otherwise.
 //
@@ -20,25 +22,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/cmdutil"
+	"repro/internal/evtrace"
 	"repro/internal/runner"
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout))
+}
+
+func realMain(argv []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("simcheck", flag.ContinueOnError)
 	var (
-		cells   = flag.Int("cells", 256, "number of sweep cells to run")
-		seed    = flag.Int64("seed", 42, "base seed of the sweep (cell i uses seed+i)")
-		jobs    = flag.Int("jobs", 0, "concurrent cells (0 = GOMAXPROCS)")
-		out     = flag.String("out", "", "directory for violation-window Perfetto traces (must exist)")
-		window  = flag.Uint64("window", 400, "pre-violation context, in bus sequence numbers")
-		verbose = flag.Bool("v", false, "print every cell, not just failures")
+		cells      = fs.Int("cells", 256, "number of sweep cells to run")
+		seed       = fs.Int64("seed", 42, "base seed of the sweep (cell i uses seed+i)")
+		jobs       = fs.Int("jobs", 0, "concurrent cells (0 = GOMAXPROCS)")
+		out        = fs.String("out", "", "directory for violation-window Perfetto traces (must exist)")
+		window     = fs.Uint64("window", 400, "pre-violation context, in bus sequence numbers")
+		verbose    = fs.Bool("v", false, "print every cell, not just failures")
+		injectFail = fs.Bool("inject-fail", false, "testing: force cell 0 to fail, exercising the failure exit path")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
 
 	matrix := check.Cells(*seed, *cells)
 	pool := runner.New(*jobs)
@@ -46,6 +59,13 @@ func main() {
 	results := runner.Map(pool, len(matrix), func(i int) *check.CellResult {
 		return check.RunCell(matrix[i])
 	})
+	if *injectFail && len(results) > 0 {
+		results[0].BlameViolations = append(results[0].BlameViolations,
+			"injected failure (-inject-fail)")
+		if results[0].Tracer == nil {
+			results[0].Tracer = evtrace.New(0)
+		}
+	}
 
 	var failed []*check.CellResult
 	var events, drops uint64
@@ -55,42 +75,43 @@ func main() {
 		if r.Failed() {
 			failed = append(failed, r)
 		} else if *verbose {
-			fmt.Println(r.Summary())
+			fmt.Fprintln(stdout, r.Summary())
 		}
 	}
-	fmt.Printf("simcheck: %d cells, %d bus events validated, %d dropped in %v (%d workers)\n",
+	fmt.Fprintf(stdout, "simcheck: %d cells, %d bus events validated, %d dropped in %v (%d workers)\n",
 		len(results), events, drops, time.Since(start).Round(time.Millisecond), pool.Workers())
 	if len(failed) == 0 {
-		fmt.Println("simcheck: all invariants hold; all replays byte-identical")
-		return
+		fmt.Fprintln(stdout, "simcheck: all invariants hold; all replays byte-identical")
+		return 0
 	}
 
 	// The minimal failing cell: lowest index, hence smallest seed offset.
 	sort.Slice(failed, func(i, j int) bool { return failed[i].Cell.Index < failed[j].Cell.Index })
-	fmt.Printf("simcheck: %d of %d cells FAILED\n", len(failed), len(results))
+	fmt.Fprintf(stdout, "simcheck: %d of %d cells FAILED\n", len(failed), len(results))
 	for _, r := range failed {
-		fmt.Println(r.Summary())
+		fmt.Fprintln(stdout, r.Summary())
 	}
 	min := failed[0]
-	fmt.Printf("minimal failing cell: %s\n", min.Cell)
-	fmt.Printf("reproduce: simcheck -seed %d -cells %d\n", *seed, min.Cell.Index+1)
+	fmt.Fprintf(stdout, "minimal failing cell: %s\n", min.Cell)
+	fmt.Fprintf(stdout, "reproduce: simcheck -seed %d -cells %d\n", *seed, min.Cell.Index+1)
 
-	if *out != "" && min.Tracer != nil {
-		v := check.Violation{} // determinism-only failures export the full tail
-		if len(min.Violations) > 0 {
-			v = min.Violations[0]
-		}
-		path := filepath.Join(*out, fmt.Sprintf("violation-cell-%03d.json", min.Cell.Index))
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "simcheck: %v\n", err)
-		} else {
-			if err := check.WriteViolationWindow(f, min.Tracer, v, *window); err != nil {
-				fmt.Fprintf(os.Stderr, "simcheck: %v\n", err)
-			}
-			f.Close()
-			fmt.Printf("pre-violation window written to %s (load in ui.perfetto.dev)\n", path)
-		}
+	if *out == "" || min.Tracer == nil {
+		return 1
 	}
-	os.Exit(1)
+	v := check.Violation{} // determinism-only failures export the full tail
+	if len(min.Violations) > 0 {
+		v = min.Violations[0]
+	}
+	path := filepath.Join(*out, fmt.Sprintf("violation-cell-%03d.json", min.Cell.Index))
+	win, err := cmdutil.NewOutput(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simcheck: %v\n", err)
+		return 1
+	}
+	if err := check.WriteViolationWindow(win, min.Tracer, v, *window); err != nil {
+		fmt.Fprintf(os.Stderr, "simcheck: %v\n", err)
+		return cmdutil.Exit(1, win)
+	}
+	fmt.Fprintf(stdout, "pre-violation window written to %s (load in ui.perfetto.dev)\n", path)
+	return cmdutil.Exit(1, win)
 }

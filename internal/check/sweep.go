@@ -82,29 +82,38 @@ var (
 func Cells(baseSeed int64, n int) []Cell {
 	cells := make([]Cell, n)
 	for i := range cells {
-		// One private generator per cell keeps prefix stability.
-		rng := rand.New(rand.NewSource(baseSeed + int64(i)*1000003))
-		c := Cell{
-			Index:        i,
-			Seed:         baseSeed + int64(i),
-			Topo:         cellTopos[rng.Intn(len(cellTopos))],
-			GCThreads:    2 + rng.Intn(15), // 2..16
-			Mutators:     1 + rng.Intn(12), // 1..12
-			Mutex:        cellMutexes[rng.Intn(len(cellMutexes))],
-			Steal:        cellSteals[rng.Intn(len(cellSteals))],
-			Affinity:     cellAffinity[rng.Intn(len(cellAffinity))],
-			TaskAffinity: rng.Intn(2) == 1,
-			FastTerm:     rng.Intn(2) == 1,
-		}
-		if rng.Intn(4) == 0 {
-			c.BusyLoops = 1 + rng.Intn(4)
-		}
-		// Every eighth cell (on average) shares its machine between two
-		// JVMs, exercising the multi-instance id/monitor namespacing.
-		c.MultiJVM = rng.Intn(8) == 0
-		cells[i] = c
+		cells[i] = CellAt(baseSeed, i)
 	}
 	return cells
+}
+
+// CellAt derives sweep cell i of the baseSeed space in O(1) — the same
+// cell Cells(baseSeed, n)[i] yields for any n > i. The fleet coordinator
+// leans on this: a shard [lo,hi) names its cells by index alone, so any
+// worker process can materialize exactly its slice of a 100k-cell space
+// without deriving (or even knowing) the rest.
+func CellAt(baseSeed int64, i int) Cell {
+	// One private generator per cell keeps prefix stability.
+	rng := rand.New(rand.NewSource(baseSeed + int64(i)*1000003))
+	c := Cell{
+		Index:        i,
+		Seed:         baseSeed + int64(i),
+		Topo:         cellTopos[rng.Intn(len(cellTopos))],
+		GCThreads:    2 + rng.Intn(15), // 2..16
+		Mutators:     1 + rng.Intn(12), // 1..12
+		Mutex:        cellMutexes[rng.Intn(len(cellMutexes))],
+		Steal:        cellSteals[rng.Intn(len(cellSteals))],
+		Affinity:     cellAffinity[rng.Intn(len(cellAffinity))],
+		TaskAffinity: rng.Intn(2) == 1,
+		FastTerm:     rng.Intn(2) == 1,
+	}
+	if rng.Intn(4) == 0 {
+		c.BusyLoops = 1 + rng.Intn(4)
+	}
+	// Every eighth cell (on average) shares its machine between two
+	// JVMs, exercising the multi-instance id/monitor namespacing.
+	c.MultiJVM = rng.Intn(8) == 0
+	return c
 }
 
 // CellResult is the outcome of running one cell through the harness.
@@ -128,6 +137,11 @@ type CellResult struct {
 	// not sum to their pause wall time — the attribution engine's own
 	// invariant, checked on every cell of the sweep.
 	BlameViolations []string
+
+	// Pathology is the postmortem classifier's verdict for the checked run
+	// (§3 taxonomy family, or "healthy"). Deterministic per cell, so the
+	// fleet report can merge pathology counts across the whole sweep.
+	Pathology string
 
 	// Tracer retains the checked run's event bus when the cell failed, so
 	// the caller can export a pre-violation window for Perfetto triage.
@@ -175,12 +189,35 @@ func short(d string) string {
 	return d
 }
 
-// sweepProfile is the workload each cell runs: lusearch shrunk far enough
-// that a cell simulates in tens of milliseconds while still triggering
-// several full GC cycles (young-gen pressure scales with mutator count).
-func sweepProfile() workload.Profile {
+// DefaultItems is the per-cell workload size RunCell simulates: lusearch
+// shrunk far enough that a cell runs in tens of milliseconds while still
+// triggering several full GC cycles.
+const DefaultItems = 1500
+
+// RunOptions tune how a sweep cell executes. The zero value reproduces
+// RunCell's classic behaviour: the default workload size and a bare
+// determinism replay.
+type RunOptions struct {
+	// Items overrides the cell workload's total item count (0 uses
+	// DefaultItems). Fleet-scale sweeps shrink it to trade per-cell depth
+	// for cell count; digests are only comparable at equal Items.
+	Items int
+	// SkipBare skips the uninstrumented replay. The determinism
+	// differential is lost for that cell (BareDigest mirrors Digest), but
+	// the cell costs one simulation instead of two — the fleet harness's
+	// fast mode for very large sweeps, where cross-process digest
+	// comparison still covers replay stability.
+	SkipBare bool
+}
+
+// sweepProfile is the workload each cell runs (young-gen pressure scales
+// with mutator count, so every cell still exercises several GCs).
+func sweepProfile(items int) workload.Profile {
 	p := workload.Lusearch()
-	p.TotalItems = 1500
+	if items <= 0 {
+		items = DefaultItems
+	}
+	p.TotalItems = items
 	return p
 }
 
@@ -190,6 +227,11 @@ func sweepProfile() workload.Profile {
 // output (the determinism differential; it simultaneously proves same-seed
 // replay stability and that the checker/tracer never perturb a run).
 func RunCell(cell Cell) *CellResult {
+	return RunCellOpts(cell, RunOptions{})
+}
+
+// RunCellOpts is RunCell with explicit RunOptions.
+func RunCellOpts(cell Cell, o RunOptions) *CellResult {
 	res := &CellResult{Cell: cell}
 
 	tr := evtrace.New(0)
@@ -197,7 +239,7 @@ func RunCell(cell Cell) *CellResult {
 	ck.Attach(tr)
 	an := postmortem.New()
 	an.Attach(tr)
-	checked, err := runCellOnce(cell, tr)
+	checked, err := runCellOnce(cell, o.Items, tr)
 	if err != nil {
 		res.Err = err
 		res.Tracer = tr
@@ -208,13 +250,22 @@ func RunCell(cell Cell) *CellResult {
 	res.Events = ck.EventsSeen()
 	res.Violations = ck.Violations()
 	res.Total = ck.Total()
-	res.BlameViolations = an.Export().Verify()
+	ex := an.Export()
+	res.BlameViolations = ex.Verify()
+	res.Pathology = ex.Pathology
 	for _, d := range tr.Drops() {
 		res.Drops += d
 	}
 	res.Digest = digestResults(checked)
 
-	bare, err := runCellOnce(cell, nil)
+	if o.SkipBare {
+		res.BareDigest = res.Digest
+		if res.Failed() {
+			res.Tracer = tr
+		}
+		return res
+	}
+	bare, err := runCellOnce(cell, o.Items, nil)
 	if err != nil {
 		res.Err = fmt.Errorf("bare replay: %w", err)
 		res.Tracer = tr
@@ -230,14 +281,14 @@ func RunCell(cell Cell) *CellResult {
 // runCellOnce performs one simulation of the cell, optionally on a tracer.
 // Panics (e.g. a tripped VerifyHeap assertion) surface as errors so the
 // sweep reports the cell instead of dying.
-func runCellOnce(cell Cell, tr *evtrace.Tracer) (results []*jvm.Result, err error) {
+func runCellOnce(cell Cell, items int, tr *evtrace.Tracer) (results []*jvm.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
 	cfg := jvm.Config{
-		Profile:        sweepProfile(),
+		Profile:        sweepProfile(items),
 		Mutators:       cell.Mutators,
 		GCThreads:      cell.GCThreads,
 		Affinity:       cell.Affinity,

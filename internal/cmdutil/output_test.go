@@ -1,0 +1,91 @@
+package cmdutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOutputLazyCreation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "never-written.json")
+	o, err := NewOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Created() {
+		t.Fatal("output reports created before any write")
+	}
+	if code := Exit(0, o); code != 0 {
+		t.Fatalf("Exit(0) on unwritten output = %d", code)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("unwritten output left a file behind: %v", err)
+	}
+}
+
+func TestExitFlushesBufferedWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	o, err := NewOutput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small enough to sit entirely in the bufio buffer until flushed.
+	payload := strings.Repeat("x", 100)
+	if _, err := o.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); len(got) != 0 {
+		t.Fatalf("write reached disk before flush (%d bytes) — buffering assumption broken", len(got))
+	}
+	if code := Exit(0, o); code != 0 {
+		t.Fatalf("Exit = %d, want 0", code)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatalf("flushed file has %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestExitEscalatesFlushFailure(t *testing.T) {
+	o, err := NewOutput(filepath.Join(t.TempDir(), "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Close the backing file out from under the buffer: the flush inside
+	// Exit must fail, and a success exit code must escalate to 1.
+	o.f.Close()
+	if code := Exit(0, o); code != 1 {
+		t.Fatalf("Exit(0) with failing flush = %d, want 1", code)
+	}
+	// A pre-existing failure exit code is preserved, not overwritten.
+	o2, _ := NewOutput(filepath.Join(t.TempDir(), "out2.json"))
+	o2.Write([]byte("data"))
+	o2.f.Close()
+	if code := Exit(3, o2); code != 3 {
+		t.Fatalf("Exit(3) with failing flush = %d, want 3", code)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	o, err := NewOutput(filepath.Join(t.TempDir(), "out.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Write([]byte("data"))
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Write([]byte("more")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("second close = %v, want nil (idempotent)", err)
+	}
+}

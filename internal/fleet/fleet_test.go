@@ -1,0 +1,280 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+)
+
+// The recovery and determinism tests need real worker *processes* — the
+// failure modes under test (os.Exit mid-shard, a hang that keeps
+// answering pings) do not exist in-process. TestMain turns the test
+// binary into a protocol worker when FLEET_TEST_WORKER is set, so tests
+// re-exec themselves as the fleet.
+func TestMain(m *testing.M) {
+	if mode := os.Getenv("FLEET_TEST_WORKER"); mode != "" {
+		os.Exit(testWorkerMain(mode))
+	}
+	os.Exit(m.Run())
+}
+
+func testWorkerMain(mode string) int {
+	var opts WorkerOptions
+	opts.KillAfter, _ = strconv.Atoi(os.Getenv("FLEET_TEST_KILL"))
+	opts.HangAfter, _ = strconv.Atoi(os.Getenv("FLEET_TEST_HANG"))
+	var run RunFunc
+	switch mode {
+	case "check":
+		seed, _ := strconv.ParseInt(os.Getenv("FLEET_TEST_SEED"), 10, 64)
+		items, _ := strconv.Atoi(os.Getenv("FLEET_TEST_ITEMS"))
+		run = CheckRunner(seed, check.RunOptions{Items: items, SkipBare: true})
+	case "echo":
+		// Trivial deterministic cells: digest is a pure function of the
+		// index. Fast enough to exercise coordination, not simulation.
+		run = func(index int, _ json.RawMessage) (CellRecord, error) {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("cell-%d", index)))
+			return CellRecord{Index: index, Digest: hex.EncodeToString(sum[:]), Events: uint64(index)}, nil
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown FLEET_TEST_WORKER mode %q\n", mode)
+		return 2
+	}
+	if err := ServeWorker(os.Stdin, os.Stdout, run, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "fleet test worker:", err)
+		return 1
+	}
+	return 0
+}
+
+// selfCommand builds worker processes by re-execing the test binary.
+// faultEnv, if non-empty, is applied to worker 0 only — one faulty
+// worker among healthy peers, the recovery scenario the issue names.
+func selfCommand(t testing.TB, mode string, env []string, faultEnv ...string) func(int) (*exec.Cmd, error) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return func(i int) (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "FLEET_TEST_WORKER="+mode)
+		cmd.Env = append(cmd.Env, env...)
+		if i == 0 {
+			cmd.Env = append(cmd.Env, faultEnv...)
+		}
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+}
+
+const (
+	matrixSeed  = 42
+	matrixItems = 150
+	matrixCells = 48
+)
+
+func checkEnv() []string {
+	return []string{
+		"FLEET_TEST_SEED=" + strconv.Itoa(matrixSeed),
+		"FLEET_TEST_ITEMS=" + strconv.Itoa(matrixItems),
+	}
+}
+
+// reportBytes runs one sweep and renders the merged gcsim-sweep/v1
+// report — the exact bytes the determinism oracle compares.
+func reportBytes(t *testing.T, cfg Config) ([]byte, *Result) {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("fleet.Run(workers=%d shards=%d): %v", cfg.Workers, cfg.Shards, err)
+	}
+	rep := BuildReport(matrixSeed, cfg.Cells, matrixItems, false, res.Records)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestReportByteIdenticalAcrossMatrix is the tentpole oracle: the merged
+// report must not depend on how the sweep was sharded, how many worker
+// processes ran it, or how stealing interleaved them.
+func TestReportByteIdenticalAcrossMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many worker processes")
+	}
+	baseline, _ := reportBytes(t, Config{
+		Cells: matrixCells, Workers: 1, Shards: 1, DisableSteal: true,
+		Command: selfCommand(t, "check", checkEnv()),
+	})
+	if !bytes.Contains(baseline, []byte(ReportSchema)) {
+		t.Fatalf("baseline report missing schema %q", ReportSchema)
+	}
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 2, 8} {
+			name := fmt.Sprintf("shards=%d/workers=%d", shards, workers)
+			got, _ := reportBytes(t, Config{
+				Cells: matrixCells, Workers: workers, Shards: shards,
+				Command: selfCommand(t, "check", checkEnv()),
+			})
+			if !bytes.Equal(got, baseline) {
+				t.Errorf("%s: report differs from baseline (%d vs %d bytes)", name, len(got), len(baseline))
+			}
+		}
+	}
+}
+
+// TestWorkerKillRecovered injects a mid-shard os.Exit into worker 0 and
+// requires the survivors to re-run its lost cells, byte-identically.
+func TestWorkerKillRecovered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	baseline, _ := reportBytes(t, Config{
+		Cells: matrixCells, Workers: 1, Shards: 1, DisableSteal: true,
+		Command: selfCommand(t, "check", checkEnv()),
+	})
+	got, res := reportBytes(t, Config{
+		Cells: matrixCells, Workers: 2, Shards: 8,
+		Command: selfCommand(t, "check", checkEnv(), "FLEET_TEST_KILL=3"),
+	})
+	if !bytes.Equal(got, baseline) {
+		t.Errorf("report with injected kill differs from baseline")
+	}
+	if res.Stats.WorkerDeaths == 0 {
+		t.Errorf("expected at least one worker death, stats=%+v", res.Stats)
+	}
+	if res.Stats.Redispatches == 0 {
+		t.Errorf("expected shard re-dispatch after kill, stats=%+v", res.Stats)
+	}
+}
+
+// TestWorkerHangRecovered injects a hang (the worker claims a cell,
+// stops, but keeps answering pings) and requires the progress deadline —
+// not the liveness check — to rescue the shard.
+func TestWorkerHangRecovered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out a progress deadline")
+	}
+	baseline, _ := reportBytes(t, Config{
+		Cells: matrixCells, Workers: 1, Shards: 1, DisableSteal: true,
+		Command: selfCommand(t, "check", checkEnv()),
+	})
+	got, res := reportBytes(t, Config{
+		Cells: matrixCells, Workers: 2, Shards: 8,
+		Heartbeat: 50 * time.Millisecond, Deadline: time.Second,
+		Command: selfCommand(t, "check", checkEnv(), "FLEET_TEST_HANG=2"),
+	})
+	if !bytes.Equal(got, baseline) {
+		t.Errorf("report with injected hang differs from baseline")
+	}
+	if res.Stats.WorkerHangs == 0 {
+		t.Errorf("expected the deadline to declare a hang, stats=%+v", res.Stats)
+	}
+}
+
+// TestStealRebalances gives one worker the whole cell space as a single
+// shard and requires the idle peer to steal part of it, without
+// perturbing the report.
+func TestStealRebalances(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	baseline, _ := reportBytes(t, Config{
+		Cells: matrixCells, Workers: 1, Shards: 1, DisableSteal: true,
+		Command: selfCommand(t, "check", checkEnv()),
+	})
+	got, res := reportBytes(t, Config{
+		Cells: matrixCells, Workers: 2, Shards: 1,
+		Heartbeat: 50 * time.Millisecond,
+		Command:   selfCommand(t, "check", checkEnv()),
+	})
+	if !bytes.Equal(got, baseline) {
+		t.Errorf("report with stealing differs from baseline")
+	}
+	if res.Stats.Steals == 0 {
+		t.Errorf("expected at least one steal with 1 shard across 2 workers, stats=%+v", res.Stats)
+	}
+}
+
+// TestDrainReturnsPartial cancels the sweep context up front: the
+// coordinator must stop dispatching, collect what is in flight, and
+// return a partial, index-sorted result wrapped in ErrDrained.
+func TestDrainReturnsPartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, Config{
+		Cells: 64, Workers: 1, Shards: 16, Deadline: 5 * time.Second,
+		Command: selfCommand(t, "echo", nil),
+	})
+	if !errors.Is(err, ErrDrained) {
+		t.Fatalf("want ErrDrained, got %v", err)
+	}
+	if res == nil || !res.Stats.Drained {
+		t.Fatalf("want drained stats, got %+v", res)
+	}
+	if len(res.Records) >= 64 {
+		t.Errorf("drain collected all %d cells; expected a partial result", len(res.Records))
+	}
+	for i := 1; i < len(res.Records); i++ {
+		if res.Records[i-1].Index >= res.Records[i].Index {
+			t.Fatalf("partial records not index-sorted at %d", i)
+		}
+	}
+	rep := BuildReport(matrixSeed, 64, 0, false, res.Records)
+	if rep.Partial != len(res.Records) {
+		t.Errorf("Partial=%d, want %d", rep.Partial, len(res.Records))
+	}
+}
+
+// TestRetriesExhaustedFails runs a single worker that always crashes:
+// once the shard burns its re-dispatch budget the sweep must fail
+// loudly instead of spinning.
+func TestRetriesExhaustedFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	_, err := Run(context.Background(), Config{
+		Cells: 16, Workers: 1, Shards: 2, Retries: 1,
+		Command: selfCommand(t, "echo", nil, "FLEET_TEST_KILL=1"),
+	})
+	if err == nil || errors.Is(err, ErrDrained) {
+		t.Fatalf("want a sweep-failed error, got %v", err)
+	}
+}
+
+// BenchmarkFleetSweep measures coordinator throughput (cells/sec) with
+// trivial cells — protocol and dispatch overhead, not simulation time.
+func BenchmarkFleetSweep(b *testing.B) {
+	cells := b.N
+	if cells < 64 {
+		cells = 64
+	}
+	b.ResetTimer()
+	start := time.Now()
+	res, err := Run(context.Background(), Config{
+		Cells: cells, Workers: 2,
+		Command: selfCommand(b, "echo", nil),
+	})
+	if err != nil {
+		b.Fatalf("fleet.Run: %v", err)
+	}
+	if len(res.Records) != cells {
+		b.Fatalf("got %d records, want %d", len(res.Records), cells)
+	}
+	b.ReportMetric(float64(cells)/time.Since(start).Seconds(), "cells/sec")
+}

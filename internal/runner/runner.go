@@ -119,6 +119,16 @@ func (p *Pool) PutScratch(v any) {
 // Indices are handed out in order but may complete out of order. If any
 // fn panics, ForEach stops handing out new indices, waits for in-flight
 // tasks, and re-panics the first panic value on the caller's goroutine.
+//
+// Scratch under panic: sibling in-flight tasks run to completion, so
+// scratch they hold is returned by their own PutScratch calls — the
+// free-list never loses the survivors' entries. The panicking task's own
+// scratch is returned only if the task defers its PutScratch; otherwise
+// that one value (and only that one — the leak bound is one scratch per
+// panicking task) falls out of the free-list to the Go GC. Deferring the
+// return is always safe: the scratch contract requires reuse to be
+// observationally invisible, so a value abandoned mid-run must
+// reinitialize on its next acquisition (jvm.Scratch does).
 func (p *Pool) ForEach(n int, fn func(int)) {
 	if n <= 0 {
 		return

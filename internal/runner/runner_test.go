@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -156,4 +157,68 @@ func TestScratchConcurrentTasksNeverShare(t *testing.T) {
 		v.Store(0)
 		p.PutScratch(v)
 	})
+}
+
+// TestForEachPanicScratchLeakBound pins the scratch-under-panic contract:
+// sibling in-flight tasks run to completion and return their scratch, so a
+// panicking task leaks at most its own value — and leaks nothing at all
+// when it defers the return, which the contract makes always-safe.
+func TestForEachPanicScratchLeakBound(t *testing.T) {
+	pool := New(4)
+	refill := func() {
+		for i := 0; i < 4; i++ {
+			pool.PutScratch(fmt.Sprintf("scratch-%d", i))
+		}
+	}
+	drain := func() int {
+		n := 0
+		for pool.GetScratch() != nil {
+			n++
+		}
+		return n
+	}
+
+	// Undeferred return: the panicking task's scratch (and only that one)
+	// falls out of the free-list.
+	refill()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ForEach did not propagate the panic")
+			}
+		}()
+		pool.ForEach(32, func(i int) {
+			v := pool.GetScratch()
+			if v == nil {
+				t.Error("free-list empty: more concurrent holders than workers")
+			}
+			if i == 0 {
+				panic("injected")
+			}
+			pool.PutScratch(v)
+		})
+	}()
+	if got := drain(); got != 3 {
+		t.Fatalf("free-list holds %d entries after undeferred panic, want 3 (leak bound is one per panicking task)", got)
+	}
+
+	// Deferred return: nothing is stranded, not even by the panicking task.
+	refill()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("ForEach did not propagate the panic")
+			}
+		}()
+		pool.ForEach(32, func(i int) {
+			v := pool.GetScratch()
+			defer pool.PutScratch(v)
+			if i == 0 {
+				panic("injected")
+			}
+		})
+	}()
+	if got := drain(); got != 4 {
+		t.Fatalf("free-list holds %d entries after deferred-return panic, want all 4", got)
+	}
 }

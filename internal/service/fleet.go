@@ -1,0 +1,158 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/jvm"
+)
+
+// SetFleetBackend routes /sweep's uncached cells through the fleet
+// coordinator instead of the in-process pool: cells are marshaled as
+// opaque payloads and dispatched to workers worker processes built by
+// cmd (each must speak the fleet protocol on stdin/stdout —
+// ServeFleetWorker is the worker side; cmd/gcsimd wires it up as a
+// re-invocation of itself with -fleet-worker). Cache probing, NDJSON
+// streaming, and the response shape are unchanged; cell bodies are
+// byte-identical to the in-process backend because both run computeBody.
+// workers <= 0 disables the backend.
+func (s *Service) SetFleetBackend(workers int, cmd func(i int) (*exec.Cmd, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if workers <= 0 || cmd == nil {
+		s.fleetWorkers, s.fleetCmd = 0, nil
+		return
+	}
+	s.fleetWorkers, s.fleetCmd = workers, cmd
+}
+
+// fleetBackend snapshots the configured backend (nil cmd = disabled).
+func (s *Service) fleetBackend() (int, func(i int) (*exec.Cmd, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fleetWorkers, s.fleetCmd
+}
+
+// ServeFleetWorker is the worker side of the fleet sweep backend: it
+// executes scenario payloads with the same compute path the in-process
+// executor uses and streams prediction bodies back as cell records. One
+// scratch lives for the whole process and is reused across cells —
+// scratch pooling stays per-process; the free-list never crosses the
+// protocol.
+func ServeFleetWorker(in io.Reader, out io.Writer, opts fleet.WorkerOptions) error {
+	sc := new(jvm.Scratch)
+	run := func(index int, payload json.RawMessage) (fleet.CellRecord, error) {
+		var scn Scenario
+		if err := json.Unmarshal(payload, &scn); err != nil {
+			return fleet.CellRecord{}, fmt.Errorf("bad scenario payload: %w", err)
+		}
+		cfg, err := scn.Config()
+		if err != nil {
+			return fleet.CellRecord{}, err
+		}
+		digest := cfg.Digest()
+		spec, err := core.BuildRunSpec(cfg)
+		if err != nil {
+			return fleet.CellRecord{}, err
+		}
+		spec.Scratch = sc
+		body, err := computeBody(digest, spec)
+		if err != nil {
+			return fleet.CellRecord{}, err
+		}
+		return fleet.CellRecord{Index: index, Digest: digest, Body: body}, nil
+	}
+	return fleet.ServeWorker(in, out, run, opts)
+}
+
+// fleetSweep answers one /sweep request through the fleet backend: cache
+// hits are streamed immediately, the uncached remainder is dispatched to
+// worker processes, and each record streams (and caches) as it lands.
+// Client disconnect cancels the request context, which drains the fleet —
+// in-flight cells finish and cache, undispatched cells never run.
+func (s *Service) fleetSweep(w http.ResponseWriter, r *http.Request, cells []Scenario, workers int, cmd func(i int) (*exec.Cmd, error)) {
+	s.sweeps.Add(1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+
+	flusher, _ := w.(http.Flusher)
+	var out sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(line SweepCell) {
+		out.Lock()
+		defer out.Unlock()
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Probe the cache first: hits stream immediately and never reach the
+	// fleet. The misses keep their original sweep indexes so lines are
+	// indistinguishable from the in-process backend's.
+	type miss struct {
+		orig    int
+		digest  string
+		payload json.RawMessage
+	}
+	var misses []miss
+	var payloads []json.RawMessage
+	for i, scn := range cells {
+		s.requests.Add(1)
+		cfg, err := scn.Config()
+		if err != nil {
+			emit(SweepCell{Index: i, Of: len(cells), Error: (&BadScenarioError{Err: err}).Error()})
+			continue
+		}
+		digest := cfg.Digest()
+		if body, ok := s.cache.Get(digest); ok {
+			s.hits.Add(1)
+			emit(SweepCell{Index: i, Of: len(cells), Cache: string(OutcomeHit), Prediction: body})
+			continue
+		}
+		payload, err := json.Marshal(scn)
+		if err != nil {
+			emit(SweepCell{Index: i, Of: len(cells), Error: err.Error()})
+			continue
+		}
+		misses = append(misses, miss{orig: i, digest: digest})
+		payloads = append(payloads, payload)
+	}
+	if len(misses) == 0 {
+		return
+	}
+
+	cfg := fleet.Config{
+		Cells:    len(misses),
+		Payloads: payloads,
+		Workers:  workers,
+		Command:  cmd,
+		OnRecord: func(rec fleet.CellRecord) {
+			m := misses[rec.Index]
+			line := SweepCell{Index: m.orig, Of: len(cells)}
+			if rec.Failed {
+				s.runErrors.Add(1)
+				line.Error = rec.Summary
+			} else {
+				s.runs.Add(1)
+				line.Cache = string(OutcomeMiss)
+				line.Prediction = rec.Body
+				s.cache.Add(m.digest, rec.Body)
+			}
+			emit(line)
+		},
+	}
+	if _, err := fleet.Run(r.Context(), cfg); err != nil && !errors.Is(err, fleet.ErrDrained) {
+		// Worker-infrastructure failure: cells already emitted stand; the
+		// stream just ends early. There is no way to signal a late error
+		// on a 200 NDJSON stream beyond that. A drain (client gone) is
+		// the cancellation contract working, not an error.
+		s.runErrors.Add(1)
+	}
+}

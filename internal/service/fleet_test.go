@@ -1,0 +1,165 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestMain turns the test binary into a fleet sweep worker when
+// GCSIMD_TEST_FLEET_WORKER is set, mirroring how cmd/gcsimd re-invokes
+// itself with -fleet-worker — the fleet backend tests re-exec the test
+// binary as their worker processes.
+func TestMain(m *testing.M) {
+	if os.Getenv("GCSIMD_TEST_FLEET_WORKER") == "1" {
+		if err := ServeFleetWorker(os.Stdin, os.Stdout, fleet.WorkerOptions{}); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func selfFleetCommand(t *testing.T) func(int) (*exec.Cmd, error) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	return func(int) (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "GCSIMD_TEST_FLEET_WORKER=1")
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+}
+
+// sweepPredictions POSTs one sweep and decodes the NDJSON stream into
+// per-index prediction bodies (and per-index cache outcomes).
+func sweepPredictions(t *testing.T, url string, req SweepRequest) (map[int]string, map[int]string) {
+	t.Helper()
+	resp := postJSON(t, url+"/sweep", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+	preds := make(map[int]string)
+	caches := make(map[int]string)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line SweepCell
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Error != "" {
+			t.Fatalf("cell %d error: %s", line.Index, line.Error)
+		}
+		preds[line.Index] = string(line.Prediction)
+		caches[line.Index] = line.Cache
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return preds, caches
+}
+
+// TestFleetSweepMatchesInProcess is the backend byte-identity oracle:
+// /sweep answered by worker processes must stream per-cell prediction
+// bodies byte-identical to the in-process pool's, and the cells it
+// computes must land in the cache (a second sweep is all hits).
+func TestFleetSweepMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	req := SweepRequest{
+		Base:     tinyScenario(),
+		Mutators: []int{2, 4},
+		Seeds:    []int64{7, 11, 13},
+	}
+
+	inproc := newTestService(t, Options{Workers: 2})
+	inprocSrv := httptest.NewServer(inproc.Handler())
+	defer inprocSrv.Close()
+	want, _ := sweepPredictions(t, inprocSrv.URL, req)
+
+	fleetSvc := newTestService(t, Options{Workers: 2})
+	fleetSvc.SetFleetBackend(2, selfFleetCommand(t))
+	fleetSrv := httptest.NewServer(fleetSvc.Handler())
+	defer fleetSrv.Close()
+	got, caches := sweepPredictions(t, fleetSrv.URL, req)
+
+	if len(got) != len(want) || len(got) != 6 {
+		t.Fatalf("got %d cells, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("cell %d: fleet prediction differs from in-process\nfleet:     %s\ninprocess: %s", i, got[i], w)
+		}
+		if caches[i] != string(OutcomeMiss) {
+			t.Errorf("cell %d: first fleet sweep cache=%q, want miss", i, caches[i])
+		}
+	}
+
+	// The fleet-computed bodies populated the cache: sweep again and every
+	// cell must come back a byte-identical hit without touching a worker.
+	again, caches := sweepPredictions(t, fleetSrv.URL, req)
+	for i, w := range got {
+		if again[i] != w {
+			t.Errorf("cell %d: cached body differs from fleet body", i)
+		}
+		if caches[i] != string(OutcomeHit) {
+			t.Errorf("cell %d: second sweep cache=%q, want hit", i, caches[i])
+		}
+	}
+}
+
+// TestFleetWorkerRejectsGarbagePayload exercises the worker-side payload
+// decode path: a payload that is not a Scenario folds into a Failed
+// record (an error line downstream), never a worker crash.
+func TestFleetWorkerRejectsGarbagePayload(t *testing.T) {
+	inR, inW := io.Pipe()
+	outR, outW := io.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- ServeFleetWorker(inR, outW, fleet.WorkerOptions{}) }()
+
+	read := func(want fleet.MsgType) *fleet.Envelope {
+		t.Helper()
+		var env fleet.Envelope
+		for {
+			if err := fleet.ReadMsg(outR, &env); err != nil {
+				t.Fatalf("reading worker output: %v", err)
+			}
+			if env.Type == fleet.MsgPong {
+				continue
+			}
+			if env.Type != want {
+				t.Fatalf("got %s frame, want %s", env.Type, want)
+			}
+			return &env
+		}
+	}
+	read(fleet.MsgHello)
+	fleet.WriteMsg(inW, &fleet.Envelope{Type: fleet.MsgShard, Shard: 0, Lo: 0, Hi: 1,
+		Payloads: []json.RawMessage{json.RawMessage(`{"benchmark":42}`)}})
+	cell := read(fleet.MsgCell)
+	if cell.Record == nil || !cell.Record.Failed {
+		t.Fatalf("garbage payload produced %+v, want a Failed record", cell.Record)
+	}
+	read(fleet.MsgShardDone)
+	fleet.WriteMsg(inW, &fleet.Envelope{Type: fleet.MsgDrain})
+	read(fleet.MsgBye)
+	inW.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("ServeFleetWorker: %v", err)
+	}
+}

@@ -161,6 +161,10 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 			"sweep expands to %d cells, max %d — split it", len(cells), maxSweepCells)})
 		return
 	}
+	if workers, cmd := s.fleetBackend(); cmd != nil {
+		s.fleetSweep(w, r, cells, workers, cmd)
+		return
+	}
 	s.sweeps.Add(1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 
@@ -188,7 +192,17 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	sem := make(chan struct{}, conc)
 	var wg sync.WaitGroup
+	ctx := r.Context()
 	for i, scn := range cells {
+		if ctx.Err() != nil {
+			// Client disconnected: the remaining cells would simulate
+			// into a stream nobody reads. Cells already admitted finish
+			// and populate the cache (the documented /run timeout
+			// contract); the rest are never admitted. Run also refuses
+			// admission on a canceled context, so the guard holds even
+			// for a goroutine already past this check.
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, scn Scenario) {

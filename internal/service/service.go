@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os/exec"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,12 @@ type Service struct {
 	inflight map[string]*job // digest → the single job computing it
 	queue    chan *job
 	closed   bool
+
+	// Fleet sweep backend (SetFleetBackend): when fleetCmd is non-nil,
+	// /sweep dispatches uncached cells to worker processes instead of the
+	// in-process pool.
+	fleetWorkers int
+	fleetCmd     func(i int) (*exec.Cmd, error)
 
 	dispatcherDone chan struct{}
 	started        time.Time
@@ -178,12 +185,18 @@ func (s *Service) Run(ctx context.Context, scn Scenario) (body []byte, out Outco
 		return nil, "", &BadScenarioError{Err: err}
 	}
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A dead caller must not admit new work: a canceled sweep stream used
+	// to keep feeding uncached cells into the pool, simulating for nobody.
+	// (Cells admitted before the cancel still finish and cache.)
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
 	j, outcome, err := s.admit(digest, spec)
 	if err != nil {
 		return nil, "", err
-	}
-	if ctx == nil {
-		ctx = context.Background()
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.opts.Timeout)
 	defer cancel()
@@ -257,6 +270,11 @@ func (s *Service) dispatch() {
 	}
 }
 
+// simulate executes one run spec. A package variable so tests can inject
+// simulation failures (panics included) without building a pathological
+// scenario.
+var simulate = jvm.Run
+
 // runJob simulates one admitted scenario on a pool worker, publishes the
 // marshaled response into the cache, and releases every waiter.
 func (s *Service) runJob(j *job) {
@@ -270,17 +288,13 @@ func (s *Service) runJob(j *job) {
 	if sc == nil {
 		sc = new(jvm.Scratch)
 	}
+	// Deferred, not inline after jvm.Run: a panicking simulation used to
+	// leak its scratch out of the free-list, and a long-lived server lost
+	// one warm arena per panic. Returning a scratch that died mid-run is
+	// safe — jvm.Scratch fully reinitializes its tables on acquisition.
+	defer s.pool.PutScratch(sc)
 	j.spec.Scratch = sc
-	// Every simulation carries a pause-postmortem analyzer: blame
-	// attribution subscribes to the event bus (a small ring suffices — the
-	// subscriber sees the whole stream) and never perturbs the run, so the
-	// cached body stays deterministic per digest.
-	tr := evtrace.New(64)
-	j.spec.EvTracer = tr
-	an := postmortem.New()
-	an.Attach(tr)
-	res, err := jvm.Run(j.spec)
-	s.pool.PutScratch(sc)
+	body, err := computeBody(j.digest, j.spec)
 	s.runs.Add(1)
 	if err != nil {
 		s.runErrors.Add(1)
@@ -288,18 +302,31 @@ func (s *Service) runJob(j *job) {
 		s.finish(j)
 		return
 	}
-	an.Finish()
-	p := predict(j.digest, res)
-	p.Blame = blameOf(an)
-	body, err := json.Marshal(p)
-	if err != nil {
-		j.err = err
-		s.finish(j)
-		return
-	}
 	j.body = body
 	s.cache.Add(j.digest, body)
 	s.finish(j)
+}
+
+// computeBody simulates one spec and marshals the Prediction body the
+// cache stores. It is the single compute path shared by the in-process
+// executor and fleet sweep workers (ServeFleetWorker), so a cell's bytes
+// are identical whichever backend ran it. Every simulation carries a
+// pause-postmortem analyzer: blame attribution subscribes to the event
+// bus (a small ring suffices — the subscriber sees the whole stream) and
+// never perturbs the run, so the body stays deterministic per digest.
+func computeBody(digest string, spec jvm.RunSpec) ([]byte, error) {
+	tr := evtrace.New(64)
+	spec.EvTracer = tr
+	an := postmortem.New()
+	an.Attach(tr)
+	res, err := simulate(spec)
+	if err != nil {
+		return nil, err
+	}
+	an.Finish()
+	p := predict(digest, res)
+	p.Blame = blameOf(an)
+	return json.Marshal(p)
 }
 
 // finish publishes the job's outcome: cache first (done in runJob), then

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/jvm"
 )
 
 func tinyScenario() Scenario {
@@ -382,5 +384,94 @@ func TestServiceSeedZeroDistinct(t *testing.T) {
 	if fmt.Sprintf("%.6f", p0.TotalMs) == fmt.Sprintf("%.6f", p42.TotalMs) &&
 		p0.GCMs == p42.GCMs && p0.MinorGCs == p42.MinorGCs {
 		t.Errorf("seed 0 and 42 produced identical predictions: %+v", p0)
+	}
+}
+
+// TestPanickedSimulationReturnsScratch is the regression test for the
+// scratch leak: a panicking simulation used to skip PutScratch (it was
+// called inline after jvm.Run), stranding the worker's warm arena. The
+// deferred return must leave the free-list whole.
+func TestPanickedSimulationReturnsScratch(t *testing.T) {
+	old := simulate
+	t.Cleanup(func() { simulate = old })
+	simulate = func(jvm.RunSpec) (*jvm.Result, error) { panic("injected simulation panic") }
+
+	s := newTestService(t, Options{Workers: 1})
+	_, _, err := s.Run(context.Background(), tinyScenario())
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want a simulation-panicked error", err)
+	}
+	if sc := s.pool.GetScratch(); sc == nil {
+		t.Fatal("panicked simulation stranded its scratch: free-list is empty")
+	}
+}
+
+// TestSweepClientDisconnectStopsAdmission asserts the /sweep cancellation
+// contract: once the client hangs up mid-stream, the pool must stop
+// receiving new cells. (Cells admitted before the disconnect may finish
+// and cache — only further admission must stop.)
+func TestSweepClientDisconnectStopsAdmission(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1, QueueCap: 8})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// 48 distinct cells (distinct seeds → distinct digests, no cache
+	// help); with one worker the sweep takes long enough to disconnect
+	// mid-stream.
+	req := SweepRequest{Base: tinyScenario()}
+	for seed := int64(1); seed <= 48; seed++ {
+		req.Seeds = append(req.Seeds, seed)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, "POST", srv.URL+"/sweep", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read one streamed line, then hang up.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatalf("reading first sweep line: %v", err)
+	}
+	cancel()
+
+	// Wait for the already-admitted tail to drain: the service must go
+	// idle AND the run counter must stop moving (a job leaves the
+	// inflight map just before its counter bump, so idleness alone can
+	// race one final increment). Once stable, no new cells reached the
+	// pool — and far fewer than the full grid ran.
+	deadline := time.Now().Add(10 * time.Second)
+	runs := s.runs.Load()
+	stableSince := time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		s.mu.Lock()
+		idle := len(s.inflight) == 0 && len(s.queue) == 0
+		s.mu.Unlock()
+		if cur := s.runs.Load(); cur != runs {
+			runs = cur
+			stableSince = time.Now()
+			continue
+		}
+		if idle && time.Since(stableSince) >= 500*time.Millisecond {
+			break
+		}
+	}
+	if time.Now().After(deadline) {
+		t.Fatalf("pool never went quiescent after disconnect: runs still moving at %d", runs)
+	}
+	if runs >= 48 {
+		t.Fatalf("all %d cells simulated despite mid-stream disconnect", runs)
 	}
 }
