@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // Output is a buffered output destination: a file path, or stdout for ""
@@ -35,9 +36,17 @@ func NewOutput(path string) (*Output, error) {
 		o.stdout = true
 		return o, nil
 	}
-	// Probe writability up front: create and keep the handle only once
-	// something is written would race with the lazy contract, so just
-	// validate the location is plausible by trying the open at first use.
+	// The file itself is still created lazily on first write, but the
+	// parent directory is checked now: a sweepd pointed at a bad -out path
+	// must fail before the hours-long sweep, not at the first report write.
+	dir := filepath.Dir(path)
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cmdutil: output %q: %w", path, err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("cmdutil: output %q: %q is not a directory", path, dir)
+	}
 	return o, nil
 }
 

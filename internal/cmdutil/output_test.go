@@ -24,6 +24,28 @@ func TestOutputLazyCreation(t *testing.T) {
 	}
 }
 
+func TestNewOutputRejectsMissingParentDir(t *testing.T) {
+	// A bad -out path must fail at startup, before an hours-long run, not
+	// at the first (lazy) write.
+	if _, err := NewOutput(filepath.Join(t.TempDir(), "no-such-dir", "out.json")); err == nil {
+		t.Fatal("NewOutput accepted a path under a missing directory")
+	}
+	// A file where the parent directory should be is just as wrong.
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOutput(filepath.Join(f, "out.json")); err == nil {
+		t.Fatal("NewOutput accepted a path whose parent is a regular file")
+	}
+	// stdout sentinels skip the check entirely.
+	for _, p := range []string{"", "-"} {
+		if _, err := NewOutput(p); err != nil {
+			t.Fatalf("NewOutput(%q) = %v, want nil", p, err)
+		}
+	}
+}
+
 func TestExitFlushesBufferedWrites(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	o, err := NewOutput(path)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"os/exec"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -141,10 +142,66 @@ type worker struct {
 	id           int
 	cmd          *exec.Cmd
 	stdin        io.WriteCloser
+	out          *outbox
 	alive        bool
 	hello        bool
 	assigned     map[int]*shard
 	lastProgress time.Time
+}
+
+// outbox is an unbounded per-worker send queue drained by a dedicated
+// writer goroutine. The coordinator goroutine must never block on a
+// worker's stdin: a MsgShard frame for a payload sweep can be megabytes,
+// and a worker whose stdout pipe is also full would close the cycle
+// coordinator→stdin / worker→stdout / reader→events / coordinator and
+// deadlock the sweep. Unbounded is safe: outstanding traffic per worker
+// is a handful of shard assignments (Inflight-capped) plus pings, and a
+// worker that stops reading is killed by the progress deadline.
+type outbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Envelope
+	closed bool
+}
+
+func newOutbox() *outbox {
+	ob := &outbox{}
+	ob.cond = sync.NewCond(&ob.mu)
+	return ob
+}
+
+// put enqueues one frame; frames queued after close are dropped (the
+// worker is dead, its shards are already re-queued).
+func (ob *outbox) put(env *Envelope) {
+	ob.mu.Lock()
+	if !ob.closed {
+		ob.queue = append(ob.queue, env)
+		ob.cond.Signal()
+	}
+	ob.mu.Unlock()
+}
+
+// get blocks for the next frame; ok=false means the outbox closed and the
+// writer goroutine should exit.
+func (ob *outbox) get() (*Envelope, bool) {
+	ob.mu.Lock()
+	defer ob.mu.Unlock()
+	for len(ob.queue) == 0 && !ob.closed {
+		ob.cond.Wait()
+	}
+	if len(ob.queue) == 0 {
+		return nil, false
+	}
+	env := ob.queue[0]
+	ob.queue = ob.queue[1:]
+	return env, true
+}
+
+func (ob *outbox) close() {
+	ob.mu.Lock()
+	ob.closed = true
+	ob.cond.Broadcast()
+	ob.mu.Unlock()
 }
 
 // event is one message (or failure) from a worker's reader goroutine.
@@ -251,7 +308,7 @@ func (co *coordinator) spawn(i int) (*worker, error) {
 		return nil, err
 	}
 	w := &worker{
-		id: i, cmd: cmd, stdin: stdin, alive: true,
+		id: i, cmd: cmd, stdin: stdin, out: newOutbox(), alive: true,
 		assigned:     make(map[int]*shard),
 		lastProgress: time.Now(),
 	}
@@ -267,20 +324,33 @@ func (co *coordinator) spawn(i int) (*worker, error) {
 			co.events <- event{wid: i, env: env}
 		}
 	}()
+	// Writer goroutine: drains the outbox onto stdin so the coordinator
+	// never blocks on a full pipe. A failed write surfaces as an error
+	// event (same path as a reader EOF) and reaps the worker.
+	go func() {
+		for {
+			env, ok := w.out.get()
+			if !ok {
+				return
+			}
+			if err := WriteMsg(stdin, env); err != nil {
+				w.out.close()
+				co.events <- event{wid: i, err: fmt.Errorf("stdin write: %w", err)}
+				return
+			}
+		}
+	}()
 	return w, nil
 }
 
-// send writes one frame to a worker; a failed write is treated like a
-// death (the reader goroutine will surface EOF shortly, but we mark the
-// worker dead immediately so dispatch stops picking it).
+// send queues one frame for a worker's writer goroutine. Write failures
+// are detected asynchronously: the writer surfaces an error event and the
+// event loop reaps the worker, re-queueing its shards.
 func (co *coordinator) send(w *worker, env *Envelope) {
 	if !w.alive {
 		return
 	}
-	if err := WriteMsg(w.stdin, env); err != nil {
-		co.logf("worker %d write failed (%v); declaring it dead", w.id, err)
-		co.reapWorker(w, false)
-	}
+	w.out.put(env)
 }
 
 // loop is the coordinator main loop: one goroutine owns all state;
@@ -289,11 +359,19 @@ func (co *coordinator) loop(ctx context.Context) (*Result, error) {
 	ticker := time.NewTicker(co.cfg.Heartbeat)
 	defer ticker.Stop()
 	draining := false
+	done := ctx.Done()
 
 	co.dispatch()
 	for co.got < co.cfg.Cells {
 		select {
 		case ev := <-co.events:
+			if ev.wid < 0 {
+				// Drain cut-off sentinel: in-flight cells did not land within
+				// one deadline (a worker hung mid-drain). Cut and return the
+				// partial result instead of waiting forever.
+				co.logf("drain deadline expired with %d cells still in flight; cutting", co.inFlight())
+				return co.result(), fmt.Errorf("%w: drain deadline expired: %d of %d cells done", ErrDrained, co.got, co.cfg.Cells)
+			}
 			if ev.err != nil {
 				co.reapWorker(co.workers[ev.wid], false)
 			} else {
@@ -312,20 +390,22 @@ func (co *coordinator) loop(ctx context.Context) (*Result, error) {
 				}
 				co.checkDeadlines()
 			}
-		case <-ctx.Done():
-			if !draining {
-				draining = true
-				co.stats.Drained = true
-				co.logf("drain requested; stopping dispatch, collecting in-flight cells")
-				for _, w := range co.workers {
-					co.send(w, &Envelope{Type: MsgDrain})
-				}
-				// Give in-flight cells one deadline to land, then cut.
-				go func() {
-					time.Sleep(co.cfg.Deadline)
-					co.events <- event{wid: -1}
-				}()
+		case <-done:
+			// Nil the channel so this permanently-ready case never selects
+			// again — otherwise the loop busy-spins at full CPU for the
+			// whole drain.
+			done = nil
+			draining = true
+			co.stats.Drained = true
+			co.logf("drain requested; stopping dispatch, collecting in-flight cells")
+			for _, w := range co.workers {
+				co.send(w, &Envelope{Type: MsgDrain})
 			}
+			// Give in-flight cells one deadline to land, then cut.
+			go func() {
+				time.Sleep(co.cfg.Deadline)
+				co.events <- event{wid: -1}
+			}()
 		}
 		if draining {
 			if co.inFlight() == 0 {
@@ -445,7 +525,8 @@ func (co *coordinator) reapWorker(w *worker, clean bool) {
 		return
 	}
 	w.alive = false
-	w.stdin.Close()
+	w.out.close()
+	w.stdin.Close() // also unblocks a writer goroutine stuck mid-frame
 	if w.cmd.Process != nil {
 		w.cmd.Process.Kill()
 	}
@@ -589,6 +670,7 @@ func (co *coordinator) killAll() {
 	for _, w := range co.workers {
 		if w.alive {
 			w.alive = false
+			w.out.close()
 			w.stdin.Close()
 			if w.cmd.Process != nil {
 				w.cmd.Process.Kill()

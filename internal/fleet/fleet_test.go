@@ -241,6 +241,36 @@ func TestDrainReturnsPartial(t *testing.T) {
 	}
 }
 
+// TestDrainDeadlineCuts hangs the only worker, then drains mid-sweep: the
+// in-flight cells can never land, so the drain deadline must cut the
+// sweep and return the partial result wrapped in ErrDrained. (Regression:
+// the cut-off sentinel used to be handled as a worker event and indexed
+// workers[-1], panicking the coordinator instead of returning.)
+func TestDrainDeadlineCuts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and waits out a drain deadline")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Run(ctx, Config{
+		Cells: 32, Workers: 1, Shards: 2,
+		Heartbeat: 50 * time.Millisecond, Deadline: 500 * time.Millisecond,
+		Command: selfCommand(t, "echo", nil, "FLEET_TEST_HANG=1"),
+		// Drain as soon as the first record lands, while the worker still
+		// holds (and will never finish) the rest of its shard.
+		OnRecord: func(CellRecord) { cancel() },
+	})
+	if !errors.Is(err, ErrDrained) {
+		t.Fatalf("want ErrDrained from the drain deadline, got %v", err)
+	}
+	if res == nil || !res.Stats.Drained {
+		t.Fatalf("want drained stats, got %+v", res)
+	}
+	if n := len(res.Records); n == 0 || n >= 32 {
+		t.Errorf("got %d records, want a non-empty partial result", n)
+	}
+}
+
 // TestRetriesExhaustedFails runs a single worker that always crashes:
 // once the shard burns its re-dispatch budget the sweep must fail
 // loudly instead of spinning.

@@ -128,6 +128,17 @@ func (s *Service) fleetSweep(w http.ResponseWriter, r *http.Request, cells []Sce
 		return
 	}
 
+	// One fleet at a time: each launch forks its own worker processes, so
+	// concurrent requests would multiply children without bound. Cache hits
+	// already streamed above; the uncached remainder waits its turn (or
+	// gives up with the disconnecting client).
+	select {
+	case s.fleetGate <- struct{}{}:
+		defer func() { <-s.fleetGate }()
+	case <-r.Context().Done():
+		return
+	}
+
 	cfg := fleet.Config{
 		Cells:    len(misses),
 		Payloads: payloads,

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/exec"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/fleet"
@@ -120,6 +122,29 @@ func TestFleetSweepMatchesInProcess(t *testing.T) {
 		if caches[i] != string(OutcomeHit) {
 			t.Errorf("cell %d: second sweep cache=%q, want hit", i, caches[i])
 		}
+	}
+}
+
+// TestFleetSweepGateShedsDisconnectedWaiter covers the fleet-launch gate:
+// while another sweep holds the gate, a request whose client has already
+// disconnected must give up without forking a single worker process —
+// the cap on process amplification the in-process backend never needed.
+func TestFleetSweepGateShedsDisconnectedWaiter(t *testing.T) {
+	s := newTestService(t, Options{Workers: 1})
+	s.fleetGate <- struct{}{} // another sweep's fleet is running
+	defer func() { <-s.fleetGate }()
+
+	var spawned atomic.Int32
+	cmd := func(int) (*exec.Cmd, error) {
+		spawned.Add(1)
+		return nil, fmt.Errorf("gate test: must not spawn")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // client already gone
+	req := httptest.NewRequest(http.MethodPost, "/sweep", nil).WithContext(ctx)
+	s.fleetSweep(httptest.NewRecorder(), req, []Scenario{tinyScenario()}, 1, cmd)
+	if n := spawned.Load(); n != 0 {
+		t.Fatalf("fleet forked %d workers while the gate was held and the client gone", n)
 	}
 }
 

@@ -80,9 +80,13 @@ type Service struct {
 
 	// Fleet sweep backend (SetFleetBackend): when fleetCmd is non-nil,
 	// /sweep dispatches uncached cells to worker processes instead of the
-	// in-process pool.
+	// in-process pool. fleetGate serializes fleet launches: each fleet
+	// sweep forks its own worker processes, so N concurrent requests would
+	// otherwise fork N*workers children — unbounded process amplification
+	// the in-process backend's shared pool never had.
 	fleetWorkers int
 	fleetCmd     func(i int) (*exec.Cmd, error)
+	fleetGate    chan struct{}
 
 	dispatcherDone chan struct{}
 	started        time.Time
@@ -118,6 +122,7 @@ func New(opts Options) *Service {
 		cache:          newLRUCache(opts.CacheSize),
 		inflight:       make(map[string]*job),
 		queue:          make(chan *job, opts.QueueCap),
+		fleetGate:      make(chan struct{}, 1),
 		dispatcherDone: make(chan struct{}),
 		started:        time.Now(),
 	}
