@@ -8,7 +8,7 @@ GO ?= go
 .PHONY: build test race vet fmt-check bench check check-invariants results \
 	bench-smoke bench-guard bench-baseline bench-benchstat bench-compare \
 	trace-smoke bench-json benchjson-smoke serve-smoke postmortem-smoke \
-	fleet-smoke
+	fleet-smoke profile-fig10
 
 build:
 	$(GO) build ./...
@@ -50,10 +50,10 @@ bench-smoke:
 		-bench 'BenchmarkSimkitSchedule$$|BenchmarkSimkitCancel$$|BenchmarkCoroSwitch$$' \
 		./internal/simkit/
 
-# Zero-allocation guard: the kernel and heap micro-benchmarks must report
-# 0 allocs/op. 1000 iterations amortize one-time setup; any steady-state
-# allocation on these hot paths fails the build before it can show up as a
-# Fig10 regression.
+# Zero-allocation guard: the kernel, heap, postmortem, steal-loop and
+# whole-scavenge micro-benchmarks must report 0 allocs/op. 1000 iterations
+# amortize one-time setup; any steady-state allocation on these hot paths
+# fails the build before it can show up as a Fig10 regression.
 bench-guard:
 	@out=$$(mktemp); \
 	{ $(GO) test -run XXX -benchtime=1000x -benchmem \
@@ -64,7 +64,13 @@ bench-guard:
 		./internal/heap/ && \
 	  $(GO) test -run XXX -benchtime=1000x -benchmem \
 		-bench 'BenchmarkPostmortemAttribution$$|BenchmarkPostmortemDisabled$$' \
-		./internal/postmortem/ ; } > $$out || { cat $$out; rm -f $$out; exit 1; }; \
+		./internal/postmortem/ && \
+	  $(GO) test -run XXX -benchtime=1000x -benchmem \
+		-bench 'BenchmarkStealLoop$$' \
+		./internal/taskq/ && \
+	  $(GO) test -run XXX -benchtime=1000x -benchmem \
+		-bench 'BenchmarkMinorGC$$' \
+		./internal/pscavenge/ ; } > $$out || { cat $$out; rm -f $$out; exit 1; }; \
 	cat $$out; \
 	awk '$$NF == "allocs/op" && $$(NF-1)+0 > 0 \
 		{bad=1; print "ALLOC REGRESSION:", $$0} END {exit bad}' $$out; \
@@ -86,6 +92,12 @@ bench-json:
 	  $(GO) test -run XXX -benchmem \
 		-bench 'BenchmarkHeapAlloc$$|BenchmarkMinorGCTrace$$' \
 		./internal/heap/ ; \
+	  $(GO) test -run XXX -benchmem \
+		-bench 'BenchmarkStealLoop$$' \
+		./internal/taskq/ ; \
+	  $(GO) test -run XXX -benchmem \
+		-bench 'BenchmarkMinorGC$$' \
+		./internal/pscavenge/ ; \
 	  $(GO) test -run XXX -benchtime 1x -benchmem \
 		-bench 'BenchmarkFig10$$|BenchmarkVanillaJVM$$|BenchmarkOptimizedJVM$$' . ; \
 	  $(GO) test -run XXX -benchtime 1x -benchmem \
@@ -112,6 +124,27 @@ benchjson-smoke:
 	$(GO) test ./cmd/benchjson/
 	$(GO) test -run XXX -benchtime=1x -benchmem -bench 'BenchmarkCoroSwitch$$' \
 		./internal/simkit/ | $(GO) run ./cmd/benchjson > /dev/null
+
+# Profile the Fig10 macro benchmark: run it a few iterations with CPU and
+# heap profiling into profiles/ (gitignored) and print the top-10 flat
+# entries of each, so a perf investigation starts from data rather than
+# guesswork. Open interactively with:
+#   go tool pprof profiles/fig10.test profiles/fig10.cpu.pprof
+PROFILE_DIR ?= profiles
+PROFILE_BENCHTIME ?= 3x
+profile-fig10:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run XXX -benchtime $(PROFILE_BENCHTIME) -benchmem \
+		-bench 'BenchmarkFig10$$' \
+		-cpuprofile $(PROFILE_DIR)/fig10.cpu.pprof \
+		-memprofile $(PROFILE_DIR)/fig10.mem.pprof \
+		-o $(PROFILE_DIR)/fig10.test .
+	@echo "--- top 10 by CPU ---"
+	$(GO) tool pprof -top -nodecount=10 \
+		$(PROFILE_DIR)/fig10.test $(PROFILE_DIR)/fig10.cpu.pprof
+	@echo "--- top 10 by allocated space ---"
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space \
+		$(PROFILE_DIR)/fig10.test $(PROFILE_DIR)/fig10.mem.pprof
 
 # benchstat workflow: record kernel + macro benchmarks before a change,
 # then compare after. benchstat is optional; without it, diff the files.
@@ -159,11 +192,20 @@ trace-smoke:
 # (buckets sum to each pause's wall time) and parseability with gcreport,
 # and run the attribution unit suite plus the scale-4 golden check — the
 # proof that attaching the analyzer never changes simulation output.
+# The second cell is plan-heavy: 16 GC threads, so nearly every worker
+# transition inside the pause runs through the plan-driven state machine
+# (contended lock entries, queue-empty waits, termination offers) rather
+# than coroutine resumes — the attribution must still account for every
+# nanosecond of each pause.
 POSTMORTEM_SMOKE_OUT ?= /tmp/gcsim-postmortem-smoke.json
+POSTMORTEM_SMOKE_OUT2 ?= /tmp/gcsim-postmortem-smoke-plan.json
 postmortem-smoke:
 	$(GO) run ./cmd/gcsim -bench lusearch -mutators 8 -gcthreads 4 \
 		-check -postmortem -postmortem-json $(POSTMORTEM_SMOKE_OUT)
 	$(GO) run ./cmd/gcreport -verify $(POSTMORTEM_SMOKE_OUT)
+	$(GO) run ./cmd/gcsim -bench lusearch -mutators 16 -gcthreads 16 \
+		-check -postmortem -postmortem-json $(POSTMORTEM_SMOKE_OUT2)
+	$(GO) run ./cmd/gcreport -verify $(POSTMORTEM_SMOKE_OUT2)
 	$(GO) test ./internal/postmortem/
 	$(GO) test -run 'TestGoldenScale4PostmortemEnabled' ./internal/experiments/
 

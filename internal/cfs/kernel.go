@@ -262,8 +262,12 @@ func (c *core) reprogram() {
 			at, kind = sliceEnd, timerSlice
 		}
 	}
+	// The timer chain is the continuation-slot fast path: during a plan
+	// burst this core cancels and reschedules its own timer once per slice,
+	// and the staged event usually fires next, so the whole chain bypasses
+	// the event heap (see simkit.AtNext — observably identical to At).
 	c.timerKind = kind
-	c.timer = k.Sim.At(at, c.timerFn)
+	c.timer = k.Sim.AtNext(at, c.timerFn)
 }
 
 func (c *core) onTimer(kind timerKind) {
@@ -277,11 +281,31 @@ func (c *core) onTimer(kind timerKind) {
 	c.account(now)
 	switch {
 	case kind == timerComplete || t.remaining <= 0:
-		if c.planContinue(t) {
+		// Batch-dispatch loop: arm the next plan slice and, when its
+		// completion would be the next event to fire anyway (uncontended
+		// core, nothing staged or queued at or before it), fire it inline
+		// via Sim.FireInline instead of staging a timer and returning to
+		// the event loop. A run of same-core plan slices then executes as
+		// one onTimer activation. FireInline preserves the (at, seq) order
+		// and the trace stream exactly, and refuses whenever any other
+		// event could interleave, so this is observably identical to the
+		// stage-and-fire path.
+		for {
+			if !c.planArm(t) {
+				// Plan exhausted: ask the body for its next request.
+				k.advance(t)
+				return
+			}
+			if !k.shutdown && len(c.rq) == 0 && c.curr == t {
+				if k.Sim.FireInline(now + c.wallFor(t.remaining)) {
+					now = k.Sim.Now()
+					c.account(now)
+					continue
+				}
+			}
+			c.reprogram()
 			return
 		}
-		// Work done: ask the body for its next request.
-		k.advance(t)
 	default:
 		// Preempt: requeue and pick the next thread.
 		if kind == timerSlice {
@@ -426,6 +450,19 @@ func (c *core) pickNext() {
 // only the coroutine round trip is elided. Returns false when the thread
 // has no plan (the caller resumes the body instead).
 func (c *core) planContinue(t *Thread) bool {
+	if !c.planArm(t) {
+		return false
+	}
+	c.reprogram()
+	return true
+}
+
+// planArm loads the current thread's next compute-plan slice into
+// t.remaining without programming a timer. onTimer's inline batch loop uses
+// it directly so a successful FireInline can skip the timer round trip;
+// every other caller goes through planContinue, which arms and reprograms.
+// Returns false when the thread has no plan left.
+func (c *core) planArm(t *Thread) bool {
 	k := c.k
 	if t.planLeft != 0 {
 		if t.planLeft > 0 {
@@ -433,7 +470,6 @@ func (c *core) planContinue(t *Thread) bool {
 		}
 		t.remaining = t.planSlice
 		k.Stats.PlanElisions++
-		c.reprogram()
 		return true
 	}
 	if fn := t.planFn; fn != nil {
@@ -451,7 +487,6 @@ func (c *core) planContinue(t *Thread) bool {
 				k.active = prev
 				t.remaining = d
 				k.Stats.BurstElisions++
-				c.reprogram()
 				return true
 			}
 		}
@@ -614,7 +649,7 @@ func (k *Kernel) enqueue(t *Thread, id ostopo.CoreID, wakeup bool) {
 		// Preempt via a zero-delay timer so we never unwind a running body.
 		k.Sim.Cancel(c.timer)
 		c.timerKind = timerResched
-		c.timer = k.Sim.At(now, c.timerFn)
+		c.timer = k.Sim.AtNext(now, c.timerFn)
 		return
 	}
 	if wakeup {

@@ -9,12 +9,12 @@
 // pscavenge); what matters for fidelity here is the reachability and
 // promotion behaviour, which is real.
 //
-// Layout: the object table is a structure of arrays. Every per-object field
-// lives in its own parallel slice indexed by ObjID, and outgoing references
-// live in one shared arena addressed by (offset, length, capacity) triples
-// rather than per-object Go slices. GC tracing therefore walks cache-linear
-// memory, and — because the table holds no pointers — the *host* Go GC never
-// scans the simulated heaps at all. See DESIGN.md §7.
+// Layout: the object table is one flat slice of packed per-object records
+// indexed by ObjID, and outgoing references live in one shared arena
+// addressed by (offset, length, capacity) triples rather than per-object Go
+// slices. GC tracing therefore walks cache-linear memory, and — because the
+// table holds no pointers — the *host* Go GC never scans the simulated
+// heaps at all. See DESIGN.md §7.
 package heap
 
 import "fmt"
@@ -86,30 +86,39 @@ type Stats struct {
 	RefCompactions   int64 // refs-arena compactions (GC-time housekeeping)
 }
 
+// objMeta is one object's packed record in the object table: identity
+// fields, the visited mark, and the refs-arena reservation, sized to 24
+// bytes so consecutive ObjIDs share cache lines.
+type objMeta struct {
+	size   int32
+	mark   uint32
+	refOff uint32
+	refLen uint32
+	refCap uint32
+	age    uint8
+	space  Space
+	node   uint8 // NUMA node backing the object's memory
+	inRS   bool  // old object registered in the remembered set
+}
+
 // Heap is a generational heap instance. It is not safe for concurrent use;
 // within the simulation, GC threads interleave deterministically.
 type Heap struct {
 	cfg Config
 
-	// Object table, structure-of-arrays: index i holds object i's fields.
-	// Slot 0 is the nil object. None of these slices contain Go pointers,
-	// so the host GC skips them entirely.
-	size  []int32
-	age   []uint8
-	space []Space
-	node  []uint8 // NUMA node backing the object's memory
-	mark  []uint32
-	inRS  []bool // old object registered in the remembered set
+	// Object table: index i holds object i's packed record. Slot 0 is the
+	// nil object. The table holds no Go pointers, so the host GC skips it
+	// entirely. One record per object (instead of nine parallel arrays)
+	// means an allocation or a tracing visit touches one cache line, not
+	// nine — the dominant memory-traffic saving of the Fig10 hot path.
+	meta []objMeta
 
-	// Outgoing references: object i's refs are refs[refOff[i] :
-	// refOff[i]+refLen[i]], with refCap[i] arena slots reserved at refOff[i].
+	// Outgoing references live in one shared arena: object i's refs are
+	// refs[meta[i].refOff : +refLen], with refCap arena slots reserved.
 	// Blocks are allocated at the arena tail and relocated (doubling) when
 	// they outgrow their reservation; dead blocks are reclaimed by
 	// compactRefs at GC boundaries.
-	refOff []uint32
-	refLen []uint32
-	refCap []uint32
-	refs   []ObjID
+	refs []ObjID
 
 	refsLive int64   // sum of refLen over live objects (compaction trigger)
 	refsBack []ObjID // spare arena buffer, swapped in by compactRefs
@@ -138,22 +147,16 @@ func New(cfg Config) (*Heap, error) {
 	return NewWith(cfg, nil)
 }
 
-// Scratch holds a retired heap's backing arrays (the SoA object table, refs
+// Scratch holds a retired heap's backing arrays (the object table, refs
 // arena, free list, and per-space index slices) for reuse by a later
 // NewWith. The object table and arena are the largest allocations of a
 // simulation cell — millions of object records per run — so recycling them
 // per worker is the bulk of the experiment runner's steady-state allocation
 // savings. The zero value is ready to use.
 type Scratch struct {
-	size  []int32
-	age   []uint8
-	space []Space
-	node  []uint8
-	mark  []uint32
-	inRS  []bool
+	meta []objMeta
 
-	refOff, refLen, refCap []uint32
-	refs, refsBack         []ObjID
+	refs, refsBack []ObjID
 
 	free []ObjID
 
@@ -171,31 +174,15 @@ func NewWith(cfg Config, sc *Scratch) (*Heap, error) {
 		return nil, err
 	}
 	h := &Heap{cfg: cfg}
-	if sc != nil && cap(sc.size) > 0 {
-		h.size = append(sc.size[:0], 0) // slot 0 is the nil object
-		h.age = append(sc.age[:0], 0)
-		h.space = append(sc.space[:0], SpaceNone)
-		h.node = append(sc.node[:0], 0)
-		h.mark = append(sc.mark[:0], 0)
-		h.inRS = append(sc.inRS[:0], false)
-		h.refOff = append(sc.refOff[:0], 0)
-		h.refLen = append(sc.refLen[:0], 0)
-		h.refCap = append(sc.refCap[:0], 0)
+	if sc != nil && cap(sc.meta) > 0 {
+		h.meta = append(sc.meta[:0], objMeta{space: SpaceNone}) // slot 0 is the nil object
 		h.refs, h.refsBack = sc.refs[:0], sc.refsBack[:0]
 		h.free = sc.free[:0]
 		h.eden, h.from, h.to = sc.eden[:0], sc.from[:0], sc.to[:0]
 		h.old, h.remembered = sc.old[:0], sc.remembered[:0]
 		*sc = Scratch{}
 	} else {
-		h.size = make([]int32, 1, 1024)
-		h.age = make([]uint8, 1, 1024)
-		h.space = make([]Space, 1, 1024)
-		h.node = make([]uint8, 1, 1024)
-		h.mark = make([]uint32, 1, 1024)
-		h.inRS = make([]bool, 1, 1024)
-		h.refOff = make([]uint32, 1, 1024)
-		h.refLen = make([]uint32, 1, 1024)
-		h.refCap = make([]uint32, 1, 1024)
+		h.meta = make([]objMeta, 1, 1024)
 	}
 	return h, nil
 }
@@ -205,9 +192,7 @@ func NewWith(cfg Config, sc *Scratch) (*Heap, error) {
 // pointers — so truncation alone recycles the storage.
 func (h *Heap) Reclaim(sc *Scratch) {
 	*sc = Scratch{
-		size: h.size[:0], age: h.age[:0], space: h.space[:0],
-		node: h.node[:0], mark: h.mark[:0], inRS: h.inRS[:0],
-		refOff: h.refOff[:0], refLen: h.refLen[:0], refCap: h.refCap[:0],
+		meta: h.meta[:0],
 		refs: h.refs[:0], refsBack: h.refsBack[:0],
 		free: h.free[:0],
 		eden: h.eden[:0], from: h.from[:0], to: h.to[:0],
@@ -243,32 +228,32 @@ func (h *Heap) Usage() (eden, from, old int64) { return h.edenUsed, h.fromUsed, 
 // hold it across those. In-place writes through the view are visible to the
 // heap (TrimAnchor-style filtering relies on this).
 func (h *Heap) Refs(id ObjID) []ObjID {
-	off := h.refOff[id]
-	return h.refs[off : off+h.refLen[id] : off+h.refCap[id]]
+	m := &h.meta[id]
+	return h.refs[m.refOff : m.refOff+m.refLen : m.refOff+m.refCap]
 }
 
 // RefLen returns the number of outgoing references of id without
 // materializing the view.
-func (h *Heap) RefLen(id ObjID) int { return int(h.refLen[id]) }
+func (h *Heap) RefLen(id ObjID) int { return int(h.meta[id].refLen) }
 
 // SizeOf returns object id's size in model bytes.
-func (h *Heap) SizeOf(id ObjID) int32 { return h.size[id] }
+func (h *Heap) SizeOf(id ObjID) int32 { return h.meta[id].size }
 
 // AgeOf returns object id's age (minor GCs survived).
-func (h *Heap) AgeOf(id ObjID) uint8 { return h.age[id] }
+func (h *Heap) AgeOf(id ObjID) uint8 { return h.meta[id].age }
 
 // SpaceOf returns the space object id currently lives in.
-func (h *Heap) SpaceOf(id ObjID) Space { return h.space[id] }
+func (h *Heap) SpaceOf(id ObjID) Space { return h.meta[id].space }
 
 // NodeOf returns the NUMA node whose memory backs object id.
-func (h *Heap) NodeOf(id ObjID) uint8 { return h.node[id] }
+func (h *Heap) NodeOf(id ObjID) uint8 { return h.meta[id].node }
 
 // SetNode retags object id's backing NUMA node (a GC thread copying the
 // object to its own node's memory).
-func (h *Heap) SetNode(id ObjID, node uint8) { h.node[id] = node }
+func (h *Heap) SetNode(id ObjID, node uint8) { h.meta[id].node = node }
 
 // InRS reports whether old object id is registered in the remembered set.
-func (h *Heap) InRS(id ObjID) bool { return h.inRS[id] }
+func (h *Heap) InRS(id ObjID) bool { return h.meta[id].inRS }
 
 // LiveObjects returns the number of live (non-free) objects.
 func (h *Heap) LiveObjects() int {
@@ -333,23 +318,16 @@ func (h *Heap) newObject(size int32, sp Space) ObjID {
 		id = h.free[n-1]
 		h.free = h.free[:n-1]
 	} else {
-		id = ObjID(len(h.size))
-		h.size = append(h.size, 0)
-		h.age = append(h.age, 0)
-		h.space = append(h.space, SpaceNone)
-		h.node = append(h.node, 0)
-		h.mark = append(h.mark, 0)
-		h.inRS = append(h.inRS, false)
-		h.refOff = append(h.refOff, 0)
-		h.refLen = append(h.refLen, 0)
-		h.refCap = append(h.refCap, 0)
+		id = ObjID(len(h.meta))
+		h.meta = append(h.meta, objMeta{})
 	}
-	h.size[id] = size
-	h.age[id] = 0
-	h.space[id] = sp
-	h.node[id] = h.allocNode
-	h.mark[id] = 0
-	h.inRS[id] = false
+	rec := &h.meta[id]
+	rec.size = size
+	rec.age = 0
+	rec.space = sp
+	rec.node = h.allocNode
+	rec.mark = 0
+	rec.inRS = false
 	h.Stats.AllocatedObjects++
 	h.Stats.AllocatedBytes += int64(size)
 	return id
@@ -361,18 +339,19 @@ func (h *Heap) initRefs(id ObjID, refs []ObjID) {
 	if n == 0 {
 		return
 	}
-	if h.refCap[id] < n {
+	if h.meta[id].refCap < n {
 		h.growRefs(id, n)
 	}
-	copy(h.refs[h.refOff[id]:], refs)
-	h.refLen[id] = n
+	m := &h.meta[id]
+	copy(h.refs[m.refOff:m.refOff+n], refs)
+	m.refLen = n
 	h.refsLive += int64(n)
 }
 
 // growRefs relocates id's reference block to the arena tail with capacity
 // at least need (amortized doubling). Existing refs are carried over.
 func (h *Heap) growRefs(id ObjID, need uint32) {
-	newCap := h.refCap[id] * 2
+	newCap := h.meta[id].refCap * 2
 	if newCap < need {
 		newCap = need
 	}
@@ -388,10 +367,10 @@ func (h *Heap) growRefs(id ObjID, need uint32) {
 	} else {
 		h.refs = h.refs[:total]
 	}
-	if n := h.refLen[id]; n > 0 {
-		copy(h.refs[off:off+n], h.refs[h.refOff[id]:h.refOff[id]+n])
+	if n := h.meta[id].refLen; n > 0 {
+		copy(h.refs[off:off+n], h.refs[h.meta[id].refOff:h.meta[id].refOff+n])
 	}
-	h.refOff[id], h.refCap[id] = off, newCap
+	h.meta[id].refOff, h.meta[id].refCap = off, newCap
 }
 
 // AddRef appends a reference from parent to child, applying the write
@@ -405,11 +384,12 @@ func (h *Heap) AddRef(parent, child ObjID) {
 }
 
 func (h *Heap) appendRef(parent, child ObjID) {
-	if h.refLen[parent] == h.refCap[parent] {
-		h.growRefs(parent, h.refLen[parent]+1)
+	if h.meta[parent].refLen == h.meta[parent].refCap {
+		h.growRefs(parent, h.meta[parent].refLen+1)
 	}
-	h.refs[h.refOff[parent]+h.refLen[parent]] = child
-	h.refLen[parent]++
+	m := &h.meta[parent]
+	h.refs[m.refOff+m.refLen] = child
+	m.refLen++
 	h.refsLive++
 }
 
@@ -420,10 +400,10 @@ func (h *Heap) AddRefUnsafe(parent, child ObjID) { h.appendRef(parent, child) }
 
 // SetRef overwrites reference slot i of parent, applying the write barrier.
 func (h *Heap) SetRef(parent ObjID, i int, child ObjID) {
-	if uint32(i) >= h.refLen[parent] {
+	if uint32(i) >= h.meta[parent].refLen {
 		panic("heap: SetRef index out of range")
 	}
-	h.refs[h.refOff[parent]+uint32(i)] = child
+	h.refs[h.meta[parent].refOff+uint32(i)] = child
 	if child != 0 {
 		h.barrier(parent, child)
 	}
@@ -435,27 +415,28 @@ func (h *Heap) ClearRefs(id ObjID) {
 	if id == 0 {
 		return
 	}
-	h.refsLive -= int64(h.refLen[id])
-	h.refLen[id] = 0
+	h.refsLive -= int64(h.meta[id].refLen)
+	h.meta[id].refLen = 0
 }
 
 // TruncateRefs keeps only the first n outgoing references of id. Callers
 // that filter a Refs view in place finish with this (see
 // objgraph.TrimAnchor).
 func (h *Heap) TruncateRefs(id ObjID, n int) {
-	if uint32(n) > h.refLen[id] {
+	if uint32(n) > h.meta[id].refLen {
 		panic("heap: TruncateRefs beyond current length")
 	}
-	h.refsLive -= int64(h.refLen[id]) - int64(n)
-	h.refLen[id] = uint32(n)
+	h.refsLive -= int64(h.meta[id].refLen) - int64(n)
+	h.meta[id].refLen = uint32(n)
 }
 
 func (h *Heap) barrier(parent, child ObjID) {
-	if h.space[parent] != SpaceOld || h.inRS[parent] {
+	p := &h.meta[parent]
+	if p.space != SpaceOld || p.inRS {
 		return
 	}
-	if sp := h.space[child]; sp == SpaceEden || sp == SpaceFrom || sp == SpaceTo {
-		h.inRS[parent] = true
+	if sp := h.meta[child].space; sp == SpaceEden || sp == SpaceFrom || sp == SpaceTo {
+		p.inRS = true
 		h.remembered = append(h.remembered, parent)
 		h.Stats.BarrierHits++
 	}
@@ -470,18 +451,18 @@ func (h *Heap) RememberedSet() []ObjID { return h.remembered }
 func (h *Heap) AgeTable() []int64 {
 	table := make([]int64, 16)
 	for _, id := range h.from {
-		age := int(h.age[id])
+		age := int(h.meta[id].age)
 		if age > 15 {
 			age = 15
 		}
-		table[age] += int64(h.size[id])
+		table[age] += int64(h.meta[id].size)
 	}
 	return table
 }
 
 // young reports whether an object currently lives in the young generation.
 func (h *Heap) young(id ObjID) bool {
-	sp := h.space[id]
+	sp := h.meta[id].space
 	return sp == SpaceEden || sp == SpaceFrom
 }
 
@@ -500,7 +481,7 @@ func (h *Heap) BeginMinorGC() {
 }
 
 // Visited reports whether id was already processed in this GC cycle.
-func (h *Heap) Visited(id ObjID) bool { return h.mark[id] == h.epoch }
+func (h *Heap) Visited(id ObjID) bool { return h.meta[id].mark == h.epoch }
 
 // CopyYoung processes one young object during a scavenge: it "copies" the
 // object to the to-space (incrementing its age) or promotes it to the old
@@ -511,40 +492,41 @@ func (h *Heap) CopyYoung(id ObjID) (size int32, promoted, first bool) {
 	if !h.inMinorGC {
 		panic("heap: CopyYoung outside a minor GC")
 	}
-	if h.mark[id] == h.epoch {
-		return h.size[id], h.space[id] == SpaceOld, false
+	m := &h.meta[id]
+	if m.mark == h.epoch {
+		return m.size, m.space == SpaceOld, false
 	}
-	if sp := h.space[id]; sp != SpaceEden && sp != SpaceFrom {
+	if sp := m.space; sp != SpaceEden && sp != SpaceFrom {
 		// Old (or already-moved) objects are not scavenged.
-		h.mark[id] = h.epoch
-		return h.size[id], sp == SpaceOld, false
+		m.mark = h.epoch
+		return m.size, sp == SpaceOld, false
 	}
-	h.mark[id] = h.epoch
-	sz := int64(h.size[id])
-	if h.age[id]+1 >= h.cfg.TenureAge || h.toUsed+sz > h.cfg.SurvivorBytes {
+	m.mark = h.epoch
+	sz := int64(m.size)
+	if m.age+1 >= h.cfg.TenureAge || h.toUsed+sz > h.cfg.SurvivorBytes {
 		// Promote. The old generation may transiently overflow; the
 		// caller watches OldOccupancy and schedules a major GC.
-		h.space[id] = SpaceOld
-		h.age[id] = 0
+		m.space = SpaceOld
+		m.age = 0
 		h.old = append(h.old, id)
 		h.oldUsed += sz
 		h.Stats.PromotedObjects++
 		h.Stats.PromotedBytes += sz
 		// A promoted object with young children must enter the RS.
-		off, n := h.refOff[id], h.refLen[id]
+		off, n := m.refOff, m.refLen
 		for _, r := range h.refs[off : off+n] {
 			if r != 0 {
 				h.barrier(id, r)
 			}
 		}
-		return h.size[id], true, true
+		return m.size, true, true
 	}
-	h.space[id] = SpaceTo
-	h.age[id]++
+	m.space = SpaceTo
+	m.age++
 	h.to = append(h.to, id)
 	h.toUsed += sz
 	h.Stats.SurvivedObjects++
-	return h.size[id], false, true
+	return m.size, false, true
 }
 
 // FinishMinorGC sweeps eden and the from-space (everything unvisited is
@@ -556,14 +538,14 @@ func (h *Heap) FinishMinorGC() int64 {
 	}
 	var freed int64
 	for _, id := range h.eden {
-		if h.space[id] == SpaceEden {
-			freed += int64(h.size[id])
+		if m := &h.meta[id]; m.space == SpaceEden {
+			freed += int64(m.size)
 			h.release(id)
 		}
 	}
 	for _, id := range h.from {
-		if h.space[id] == SpaceFrom {
-			freed += int64(h.size[id])
+		if m := &h.meta[id]; m.space == SpaceFrom {
+			freed += int64(m.size)
 			h.release(id)
 		}
 	}
@@ -571,7 +553,7 @@ func (h *Heap) FinishMinorGC() int64 {
 	h.edenUsed = 0
 	// Swap semispaces: to becomes from.
 	for _, id := range h.to {
-		h.space[id] = SpaceFrom
+		h.meta[id].space = SpaceFrom
 	}
 	h.from, h.to = h.to, h.from[:0]
 	h.fromUsed = h.toUsed
@@ -588,12 +570,13 @@ func (h *Heap) FinishMinorGC() int64 {
 func (h *Heap) pruneRememberedSet() {
 	live := h.remembered[:0]
 	for _, id := range h.remembered {
-		if h.space[id] != SpaceOld {
-			h.inRS[id] = false
+		m := &h.meta[id]
+		if m.space != SpaceOld {
+			m.inRS = false
 			continue
 		}
 		keep := false
-		off, n := h.refOff[id], h.refLen[id]
+		off, n := m.refOff, m.refLen
 		for _, r := range h.refs[off : off+n] {
 			if r != 0 && h.young(r) {
 				keep = true
@@ -603,7 +586,7 @@ func (h *Heap) pruneRememberedSet() {
 		if keep {
 			live = append(live, id)
 		} else {
-			h.inRS[id] = false
+			m.inRS = false
 		}
 	}
 	h.remembered = live
@@ -628,19 +611,19 @@ func (h *Heap) compactRefs() {
 	dst := h.refsBack[:0]
 	for _, list := range [][]ObjID{h.eden, h.from, h.to, h.old} {
 		for _, id := range list {
-			n := h.refLen[id]
+			n := h.meta[id].refLen
 			if n == 0 {
-				h.refOff[id], h.refCap[id] = 0, 0
+				h.meta[id].refOff, h.meta[id].refCap = 0, 0
 				continue
 			}
-			off := h.refOff[id]
+			off := h.meta[id].refOff
 			newOff := uint32(len(dst))
 			dst = append(dst, h.refs[off:off+n]...)
-			h.refOff[id], h.refCap[id] = newOff, n
+			h.meta[id].refOff, h.meta[id].refCap = newOff, n
 		}
 	}
 	for _, id := range h.free {
-		h.refOff[id], h.refLen[id], h.refCap[id] = 0, 0, 0
+		h.meta[id].refOff, h.meta[id].refLen, h.meta[id].refCap = 0, 0, 0
 	}
 	h.refs, h.refsBack = dst, h.refs[:0]
 	h.Stats.RefCompactions++
@@ -655,11 +638,12 @@ func (h *Heap) BeginMajorGC() {
 
 // Mark marks one object live in the major GC, returning (size, first visit).
 func (h *Heap) Mark(id ObjID) (int32, bool) {
-	if h.mark[id] == h.epoch {
-		return h.size[id], false
+	m := &h.meta[id]
+	if m.mark == h.epoch {
+		return m.size, false
 	}
-	h.mark[id] = h.epoch
-	return h.size[id], true
+	m.mark = h.epoch
+	return m.size, true
 }
 
 // FinishMajorGC sweeps every unmarked object in all spaces (a full GC in
@@ -669,12 +653,13 @@ func (h *Heap) FinishMajorGC() (freedOld, liveOld int64) {
 	sweep := func(list []ObjID, used *int64, freed *int64) []ObjID {
 		out := list[:0]
 		for _, id := range list {
-			if h.mark[id] == h.epoch {
+			m := &h.meta[id]
+			if m.mark == h.epoch {
 				out = append(out, id)
 				continue
 			}
-			*used -= int64(h.size[id])
-			*freed += int64(h.size[id])
+			*used -= int64(m.size)
+			*freed += int64(m.size)
 			h.release(id)
 		}
 		return out
@@ -691,11 +676,12 @@ func (h *Heap) FinishMajorGC() (freedOld, liveOld int64) {
 }
 
 func (h *Heap) release(id ObjID) {
-	h.space[id] = SpaceNone
-	h.age[id] = 0
-	h.inRS[id] = false
-	h.refsLive -= int64(h.refLen[id])
-	h.refLen[id] = 0
+	m := &h.meta[id]
+	m.space = SpaceNone
+	m.age = 0
+	m.inRS = false
+	h.refsLive -= int64(m.refLen)
+	m.refLen = 0
 	h.free = append(h.free, id)
 }
 
@@ -731,17 +717,17 @@ func (h *Heap) ReachableFrom(roots []ObjID) map[ObjID]bool {
 func (h *Heap) CheckInvariants() error {
 	var eden, from, to, old int64
 	count := map[Space]int{}
-	for id := 1; id < len(h.size); id++ {
-		count[h.space[id]]++
-		switch h.space[id] {
+	for id := 1; id < len(h.meta); id++ {
+		count[h.meta[id].space]++
+		switch h.meta[id].space {
 		case SpaceEden:
-			eden += int64(h.size[id])
+			eden += int64(h.meta[id].size)
 		case SpaceFrom:
-			from += int64(h.size[id])
+			from += int64(h.meta[id].size)
 		case SpaceTo:
-			to += int64(h.size[id])
+			to += int64(h.meta[id].size)
 		case SpaceOld:
-			old += int64(h.size[id])
+			old += int64(h.meta[id].size)
 		}
 	}
 	if eden != h.edenUsed {
@@ -763,12 +749,12 @@ func (h *Heap) CheckInvariants() error {
 		return fmt.Errorf("old list has %d entries, %d objects tagged old", len(h.old), count[SpaceOld])
 	}
 	// Remembered-set completeness: every old→young edge is covered.
-	for id := 1; id < len(h.size); id++ {
-		if h.space[id] != SpaceOld {
+	for id := 1; id < len(h.meta); id++ {
+		if h.meta[id].space != SpaceOld {
 			continue
 		}
 		for _, r := range h.Refs(ObjID(id)) {
-			if r != 0 && h.young(r) && !h.inRS[id] {
+			if r != 0 && h.young(r) && !h.meta[id].inRS {
 				return fmt.Errorf("old object %d references young %d but is not in RS", id, r)
 			}
 		}
@@ -776,15 +762,15 @@ func (h *Heap) CheckInvariants() error {
 	// Refs-arena block accounting: live lengths sum to refsLive, and no
 	// block escapes the arena.
 	var live int64
-	for id := 1; id < len(h.size); id++ {
-		if h.space[id] != SpaceNone {
-			live += int64(h.refLen[id])
+	for id := 1; id < len(h.meta); id++ {
+		if h.meta[id].space != SpaceNone {
+			live += int64(h.meta[id].refLen)
 		}
-		if h.refLen[id] > h.refCap[id] {
-			return fmt.Errorf("object %d refLen %d > refCap %d", id, h.refLen[id], h.refCap[id])
+		if h.meta[id].refLen > h.meta[id].refCap {
+			return fmt.Errorf("object %d refLen %d > refCap %d", id, h.meta[id].refLen, h.meta[id].refCap)
 		}
-		if int(h.refOff[id])+int(h.refCap[id]) > len(h.refs) {
-			return fmt.Errorf("object %d refs block [%d,+%d) escapes arena of %d", id, h.refOff[id], h.refCap[id], len(h.refs))
+		if int(h.meta[id].refOff)+int(h.meta[id].refCap) > len(h.refs) {
+			return fmt.Errorf("object %d refs block [%d,+%d) escapes arena of %d", id, h.meta[id].refOff, h.meta[id].refCap, len(h.refs))
 		}
 	}
 	if live != h.refsLive {

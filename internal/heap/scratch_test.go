@@ -66,7 +66,7 @@ func TestHeapScratchReuseIsInvisible(t *testing.T) {
 	}
 	churn(warmup, 77) // different seed: nothing carries over but capacity
 	warmup.Reclaim(&sc)
-	if cap(sc.size) < 2 {
+	if cap(sc.meta) < 2 {
 		t.Fatal("reclaim harvested no object table")
 	}
 

@@ -272,7 +272,7 @@ func (m *Monitor) competitiveSlow(e *cfs.Env) {
 			return
 		}
 		if m.onDeck != t && !m.isQueued(t) {
-			m.cxq = append([]*cfs.Thread{t}, m.cxq...) // push onto cxq head
+			m.cxq = pushHead(m.cxq, t)
 		}
 		m.Stats.ParkEvents++
 		if m.etr != nil {
@@ -288,7 +288,7 @@ func (m *Monitor) competitiveSlow(e *cfs.Env) {
 // fifoSlow queues the thread; ownership is assigned by the unlocker.
 func (m *Monitor) fifoSlow(e *cfs.Env) {
 	t := e.T
-	m.cxq = append([]*cfs.Thread{t}, m.cxq...)
+	m.cxq = pushHead(m.cxq, t)
 	for m.owner != t {
 		m.Stats.ParkEvents++
 		if m.etr != nil {
@@ -356,15 +356,20 @@ func (m *Monitor) unlockFrom(t *cfs.Thread) {
 	default: // PolicyHotSpot, PolicyNoFastPath
 		if m.onDeck == nil {
 			if len(m.entryList) == 0 && len(m.cxq) > 0 {
-				// Drain cxq into EntryList, oldest arrival first.
+				// Drain cxq into EntryList, oldest arrival first. Both
+				// backings are kept for reuse: this runs once per wake in
+				// the sequential GC-startup chain.
 				for i := len(m.cxq) - 1; i >= 0; i-- {
 					m.entryList = append(m.entryList, m.cxq[i])
+					m.cxq[i] = nil
 				}
-				m.cxq = nil
+				m.cxq = m.cxq[:0]
 			}
 			if len(m.entryList) > 0 {
 				m.onDeck = m.entryList[0]
-				m.entryList = m.entryList[1:]
+				n := copy(m.entryList, m.entryList[1:])
+				m.entryList[n] = nil
+				m.entryList = m.entryList[:n]
 			}
 		}
 		if m.onDeck != nil {
@@ -379,14 +384,32 @@ func (m *Monitor) unlockFrom(t *cfs.Thread) {
 }
 
 // Wait releases the monitor, sleeps on the WaitSet, and re-acquires after
-// being selected. The owner must hold the lock.
+// being selected. The owner must hold the lock. Like Lock and Unlock it
+// decomposes into a plan-callable prefix (WaitBegin: WaitSet registration
+// plus the release cost) and a body-only remainder (WaitFinish: the release
+// itself and the park/re-acquire loop), so a compute plan can run the
+// thread right up to the point where it must actually sleep.
 func (m *Monitor) Wait(e *cfs.Env) {
-	t := e.T
+	e.Compute(m.WaitBegin(e.T))
+	m.WaitFinish(e)
+}
+
+// WaitBegin registers t on the WaitSet and returns the release cost the
+// caller must consume (via Compute or a plan slice) before finishing with
+// WaitFinish. The registration happens here — before the cost is consumed —
+// exactly as in the fused Wait.
+func (m *Monitor) WaitBegin(t *cfs.Thread) simkit.Time {
 	if m.owner != t {
 		panic("jmutex: Wait on " + m.Name + " by non-owner " + t.Name)
 	}
 	m.waitSet = append(m.waitSet, t)
-	e.Compute(m.unlockCost)
+	return m.unlockCost
+}
+
+// WaitFinish releases the monitor and blocks until the thread is selected
+// out of the WaitSet and wins the lock. Must run in the thread's body.
+func (m *Monitor) WaitFinish(e *cfs.Env) {
+	t := e.T
 	m.unlockFrom(t)
 	// Sleep until this thread is out of the WaitSet AND wins the lock.
 	if m.policy == PolicyFairFIFO {
@@ -429,7 +452,7 @@ func (m *Monitor) Wait(e *cfs.Env) {
 			return
 		}
 		if m.onDeck != t && !m.isQueued(t) {
-			m.cxq = append([]*cfs.Thread{t}, m.cxq...)
+			m.cxq = pushHead(m.cxq, t)
 		}
 	}
 }
@@ -445,7 +468,9 @@ func (m *Monitor) Notify(e *cfs.Env) {
 		return
 	}
 	w := m.waitSet[0]
-	m.waitSet = m.waitSet[1:]
+	n := copy(m.waitSet, m.waitSet[1:])
+	m.waitSet[n] = nil
+	m.waitSet = m.waitSet[:n]
 	m.transferNotified(w)
 }
 
@@ -458,23 +483,31 @@ func (m *Monitor) NotifyAll(e *cfs.Env) {
 		panic("jmutex: NotifyAll on " + m.Name + " by non-owner " + e.T.Name)
 	}
 	m.Stats.Notifies++
+	// Transfers only ever append to cxq, so the WaitSet backing can be
+	// truncated up front and reused by the next Wait without reallocating
+	// (this runs once per collection on the hot enqueueAll path).
 	ws := m.waitSet
-	m.waitSet = nil
+	m.waitSet = m.waitSet[:0]
 	for _, w := range ws {
 		m.transferNotified(w)
 	}
 }
 
 func (m *Monitor) transferNotified(w *cfs.Thread) {
-	switch m.policy {
-	case PolicyFairFIFO:
-		m.cxq = append([]*cfs.Thread{w}, m.cxq...)
-	case PolicyWakeAll:
-		m.cxq = append([]*cfs.Thread{w}, m.cxq...)
+	m.cxq = pushHead(m.cxq, w)
+	if m.policy == PolicyWakeAll {
 		m.k.Unpark(w)
-	default:
-		m.cxq = append([]*cfs.Thread{w}, m.cxq...)
 	}
+}
+
+// pushHead inserts t at the head of q in place. The queues here see a
+// head-push per wait/notify of every collection, so they must reuse their
+// backing arrays rather than allocate a fresh slice per push.
+func pushHead(q []*cfs.Thread, t *cfs.Thread) []*cfs.Thread {
+	q = append(q, nil)
+	copy(q[1:], q)
+	q[0] = t
+	return q
 }
 
 func (m *Monitor) isQueued(t *cfs.Thread) bool {
@@ -515,7 +548,9 @@ func (m *Monitor) popOldest() *cfs.Thread {
 	}
 	if len(m.entryList) > 0 {
 		w := m.entryList[0]
-		m.entryList = m.entryList[1:]
+		n := copy(m.entryList, m.entryList[1:])
+		m.entryList[n] = nil
+		m.entryList = m.entryList[:n]
 		return w
 	}
 	if len(m.cxq) > 0 {

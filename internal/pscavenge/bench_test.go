@@ -1,0 +1,111 @@
+package pscavenge
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/heap"
+	"repro/internal/objgraph"
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// BenchmarkMinorGC measures one full engine scavenge — task construction,
+// manager dispatch, plan-driven workers, stealing, termination and the
+// final sweep — on a steadily refilled eden. The mutator refill runs off
+// the timer (as in heap.BenchmarkMinorGCTrace); the timed region is the
+// stop-the-world pause machinery itself. Steady-state collections must not
+// allocate: task records, terminators and reports are recycled via the
+// engine's quiescence-gated pools (bench-guard enforces 0 allocs/op).
+func BenchmarkMinorGC(b *testing.B) {
+	sim := simkit.New(7)
+	defer sim.Close()
+	k := cfs.NewKernel(sim, ostopo.PaperTestbed(), cfs.DefaultParams())
+	h, err := heap.New(heap.Config{
+		EdenBytes: 1 << 20, SurvivorBytes: 1 << 18, OldBytes: 1 << 26, TenureAge: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var muts []*objgraph.Mutator
+	for i := 0; i < 6; i++ {
+		m, err := objgraph.NewMutator(i, h, objgraph.DefaultParams(), rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		muts = append(muts, m)
+	}
+	g := New(k, h, Options{})
+
+	fill := func() {
+		for i := 0; ; i = (i + 1) % len(muts) {
+			if _, ok := muts[i].AllocCluster(); !ok {
+				return
+			}
+		}
+	}
+	// Root sets are rebuilt in place each collection (mutator Roots()
+	// reuses its scratch, so only the slice headers change).
+	rs := RootSet{ThreadRoots: make([][]heap.ObjID, len(muts))}
+	minorRoots := func() RootSet {
+		for i, m := range muts {
+			rs.ThreadRoots[i] = m.Roots()
+		}
+		return RootSet{ThreadRoots: rs.ThreadRoots}
+	}
+	majorRoots := func() RootSet {
+		minorRoots()
+		rs.StaticRoots = rs.StaticRoots[:0]
+		for _, m := range muts {
+			rs.StaticRoots = append(rs.StaticRoots, m.Anchor())
+		}
+		return RootSet{ThreadRoots: rs.ThreadRoots, StaticRoots: rs.StaticRoots}
+	}
+
+	done := false
+	k.Spawn("VMThread", 19, func(e *cfs.Env) {
+		// The inter-GC mutator phase, off the timer: advance the sim past
+		// the termination stragglers' sleeps so every worker is back on
+		// the WaitSet (reclaim's quiescence condition, as in a real cell
+		// where mutators run for many milliseconds between pauses), wipe
+		// the old generation before it makes remembered-set scans
+		// quadratic, and refill eden.
+		quiesce := func() {
+			e.Sleep(4 * g.Costs.TermSleep)
+			if _, _, old := h.Usage(); old > 16<<20 {
+				g.RunMajorGC(e, majorRoots())
+				e.Sleep(4 * g.Costs.TermSleep)
+			}
+			fill()
+		}
+		// Warm up: reach steady-state pool and arena capacities (several
+		// rounds so reclaimed records from earlier rounds get reused).
+		for i := 0; i < 4; i++ {
+			quiesce()
+			g.RunMinorGC(e, minorRoots())
+			g.RecycleReports()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			quiesce()
+			b.StartTimer()
+			g.RunMinorGC(e, minorRoots())
+			g.RecycleReports()
+		}
+		b.StopTimer()
+		g.Shutdown(e)
+		done = true
+	})
+	for !done && sim.Step() {
+	}
+	if !done {
+		b.Fatal("VM thread did not finish")
+	}
+	k.Shutdown()
+	for sim.Step() {
+	}
+}

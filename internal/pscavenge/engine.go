@@ -56,6 +56,12 @@ type Options struct {
 	// machines, §5.7): it suffixes the GCTaskManager monitor name and
 	// namespaces task ids so one event bus carries unambiguous streams.
 	Instance int
+	// LoopWorkers runs the GC worker bodies as the legacy Compute-per-step
+	// coroutine loops instead of driver-serviced compute plans. The two are
+	// observably identical — same event stream, reports, and RNG draws
+	// (TestWorkerPlanMatchesLoop) — so this exists as the oracle switch for
+	// that identity test and as a debugging aid for the plan state machine.
+	LoopWorkers bool
 	// Costs overrides the calibration (nil = DefaultCosts).
 	Costs *Costs
 	// Metrics, when non-nil, receives the unified counter namespace
@@ -73,7 +79,9 @@ type Engine struct {
 	mgr     *manager
 	queues  []taskq.Deque[heap.ObjID]
 	policy  taskq.Policy
+	pool    taskq.Pool // hoisted poolView: one interface conversion, ever
 	workers []*cfs.Thread
+	wstates []workerState
 
 	vmThread  *cfs.Thread
 	gcSeq     int
@@ -83,6 +91,23 @@ type Engine struct {
 	etr       *evtrace.Tracer // captured from the kernel at construction
 
 	initialEden int64
+
+	// Per-collection scratch, recycled so steady-state collections allocate
+	// nothing (the bench-guard contract of BenchmarkMinorGC). Retired
+	// records sit on the pend* lists until reclaim observes every worker
+	// idle on the manager's WaitSet — a termination straggler may hold
+	// references into the previous cohort well past the pause — and only
+	// then move to the free lists for reuse.
+	taskFree  []*GCTask // recycled task records
+	pendTasks []*GCTask // retired task records awaiting quiescence
+	taskBuf   []*GCTask // reusable task-list backing
+	partBuf   [][]heap.ObjID
+	termFree  []*terminator
+	pendTerms []*terminator
+	barScr    barrier
+	repFree   []*GCReport // rewindable reports
+	pendReps  []*GCReport // reports returned via RecycleReports
+	localThr  []int       // cached localThreads() (topology is fixed at New)
 
 	// Reports holds one entry per collection, in order.
 	Reports []*GCReport
@@ -115,6 +140,7 @@ func New(k *cfs.Kernel, h *heap.Heap, opt Options) *Engine {
 		n = DefaultGCThreads(k.NumCPUs())
 	}
 	g.queues = make([]taskq.Deque[heap.ObjID], n)
+	g.pool = poolView{g}
 	g.etr = k.EvTracer()
 	g.policy = taskq.Traced(opt.StealKind.Make(n, opt.NodeOf), g.etr,
 		func() int64 { return int64(k.Sim.Now()) })
@@ -126,7 +152,9 @@ func New(k *cfs.Kernel, h *heap.Heap, opt Options) *Engine {
 	g.mgr = newManager(g, opt.MutexPolicy, opt.TaskAffinity)
 	g.mgr.mon.RecordLog = opt.RecordLockLog
 	g.initialEden = h.Config().EdenBytes
+	g.localThr = g.localThreads()
 	g.workers = make([]*cfs.Thread, n)
+	g.wstates = make([]workerState, n)
 	for w := 0; w < n; w++ {
 		w := w
 		g.workers[w] = k.Spawn(fmt.Sprintf("GCTaskThread#%d", w), opt.SpawnCore, func(e *cfs.Env) {
@@ -141,7 +169,11 @@ func New(k *cfs.Kernel, h *heap.Heap, opt Options) *Engine {
 			if g.Opt.OnWorkerStart != nil {
 				g.Opt.OnWorkerStart(e, w)
 			}
-			g.workerLoop(e, w)
+			if g.Opt.LoopWorkers {
+				g.workerLoop(e, w)
+			} else {
+				g.workerPlan(e, w)
+			}
 		})
 	}
 	return g
@@ -224,7 +256,7 @@ func (g *Engine) scavengeStep(tr *cfs.Batcher, w int, id heap.ObjID, rep *GCRepo
 	}
 	cost := g.Costs.ObjCopyBase + simkit.Time(size)*g.Costs.CopyPerByte
 	if g.Opt.NUMA != nil {
-		cost = g.numaAdjust(tr, id, cost, rep, true)
+		cost = g.numaAdjust(tr.Env().Core(), id, cost, rep, true)
 	}
 	tr.Charge(cost)
 	for _, r := range h.Refs(id) {
@@ -249,7 +281,7 @@ func (g *Engine) markStep(tr *cfs.Batcher, w int, id heap.ObjID, rep *GCReport) 
 	rep.CopiedBytes += int64(size)
 	cost := g.Costs.MarkObj
 	if g.Opt.NUMA != nil {
-		cost = g.numaAdjust(tr, id, cost, rep, false)
+		cost = g.numaAdjust(tr.Env().Core(), id, cost, rep, false)
 	}
 	tr.Charge(cost)
 	for _, r := range h.Refs(id) {
@@ -265,10 +297,10 @@ func (g *Engine) markStep(tr *cfs.Batcher, w int, id heap.ObjID, rep *GCReport) 
 
 // numaAdjust applies the NUMA model to one object access: remote objects
 // cost RemoteFactor times as much; a copy (rehome=true) moves the object to
-// the accessing thread's node.
-func (g *Engine) numaAdjust(tr *cfs.Batcher, id heap.ObjID, cost simkit.Time, rep *GCReport, rehome bool) simkit.Time {
+// the accessing thread's node. core is the accessing thread's current core.
+func (g *Engine) numaAdjust(core ostopo.CoreID, id heap.ObjID, cost simkit.Time, rep *GCReport, rehome bool) simkit.Time {
 	m := g.Opt.NUMA
-	myNode := m.Topo.Node(tr.Env().Core())
+	myNode := m.Topo.Node(core)
 	if int(g.H.NodeOf(id)) != myNode {
 		rep.RemoteAccesses++
 		cost = simkit.Time(float64(cost) * m.RemoteFactor)
@@ -353,7 +385,7 @@ func (g *Engine) runSteal(e *cfs.Env, w int, t *GCTask) {
 	fails := 0
 	segStart := e.Now()
 	for {
-		victim := g.policy.ChooseVictim(w, poolView{g}, e.Rand())
+		victim := g.policy.ChooseVictim(w, g.pool, e.Rand())
 		g.Steal.Attempts[w]++
 		rep.StealAttempts++
 		e.Compute(c.StealAttempt)
@@ -403,8 +435,9 @@ func (g *Engine) runSteal(e *cfs.Env, w int, t *GCTask) {
 // RunMinorGC performs one stop-the-world scavenge. The caller (VM thread)
 // must have suspended the mutators. Returns the collection's report.
 func (g *Engine) RunMinorGC(e *cfs.Env, roots RootSet) *GCReport {
+	g.reclaim()
 	g.gcSeq++
-	rep := newGCReport(Minor, g.gcSeq, len(g.queues), g.K.NumCPUs(), e.Now())
+	rep := g.newReport(Minor, g.gcSeq, e.Now())
 	rep.Before = g.snapshot()
 	g.vmThread = e.T
 	g.H.BeginMinorGC()
@@ -430,6 +463,7 @@ func (g *Engine) RunMinorGC(e *cfs.Env, roots RootSet) *GCReport {
 	rep.FinalSyncTime = e.Now() - fs
 	rep.After = g.snapshot()
 	rep.End = e.Now()
+	g.taskBuf = g.retireTasks(tasks)
 	g.Reports = append(g.Reports, rep)
 	g.emitPhases(rep, fs)
 	g.publishMetrics(rep)
@@ -510,26 +544,110 @@ func (g *Engine) snapshot() HeapSnapshot {
 	}
 }
 
+// reclaim moves retired task records, terminators and recycled reports to
+// the free lists — but only when every GC worker is idle on the manager's
+// WaitSet. A termination straggler (a worker whose TermSleep expires after
+// the pause has ended) still holds its task, terminator and report
+// pointers while it finishes the offer protocol; reusing those records
+// under it would alias two collections. Full quiescence implies no such
+// references remain: an idle worker has passed its task-done transition
+// (which nils the plan's task pointer) and dropped every steal-loop frame.
+// When workers are not yet quiescent the records simply stay pending and
+// are reclaimed by a later collection.
+func (g *Engine) reclaim() {
+	if len(g.pendTasks) == 0 && len(g.pendTerms) == 0 && len(g.pendReps) == 0 {
+		return
+	}
+	if g.mgr.mon.WaitSetLen() != len(g.workers) {
+		return
+	}
+	g.taskFree = append(g.taskFree, g.pendTasks...)
+	for i := range g.pendTasks {
+		g.pendTasks[i] = nil
+	}
+	g.pendTasks = g.pendTasks[:0]
+	g.termFree = append(g.termFree, g.pendTerms...)
+	for i := range g.pendTerms {
+		g.pendTerms[i] = nil
+	}
+	g.pendTerms = g.pendTerms[:0]
+	g.repFree = append(g.repFree, g.pendReps...)
+	for i := range g.pendReps {
+		g.pendReps[i] = nil
+	}
+	g.pendReps = g.pendReps[:0]
+}
+
+// newTask pops a reclaimed task record or allocates a fresh one. Records
+// are retired at phase end via retireTasks.
+func (g *Engine) newTask(kind TaskKind) *GCTask {
+	if n := len(g.taskFree); n > 0 {
+		t := g.taskFree[n-1]
+		g.taskFree = g.taskFree[:n-1]
+		*t = GCTask{Kind: kind}
+		return t
+	}
+	return &GCTask{Kind: kind}
+}
+
+// retireTasks parks a completed phase's task records on the pending list
+// (reclaim recycles them once the workers are quiescent) and hands the
+// truncated backing slice back for immediate reuse — the slice holds only
+// pointers, which have been copied out.
+func (g *Engine) retireTasks(tasks []*GCTask) []*GCTask {
+	g.pendTasks = append(g.pendTasks, tasks...)
+	return tasks[:0]
+}
+
+// newTerminator builds the parallel phase's terminator, reusing a
+// reclaimed record when one is available. The new terminator is
+// immediately parked on the pending list: it becomes reclaimable at the
+// first collection start that finds the workers quiescent, which is
+// necessarily after its own phase (and any stragglers) completed.
+func (g *Engine) newTerminator(total int) *terminator {
+	var t *terminator
+	if n := len(g.termFree); n > 0 {
+		t = g.termFree[n-1]
+		g.termFree = g.termFree[:n-1]
+	} else {
+		t = new(terminator)
+	}
+	*t = terminator{g: g, total: total, fast: g.Opt.FastTerminator, localThreads: g.localThr}
+	g.pendTerms = append(g.pendTerms, t)
+	return t
+}
+
 func (g *Engine) buildMinorTasks(roots RootSet, rep *GCReport) ([]*GCTask, *terminator) {
 	n := len(g.queues)
-	term := newTerminator(g, n, g.Opt.FastTerminator, g.localThreads())
-	var tasks []*GCTask
+	term := g.newTerminator(n)
+	tasks := g.taskBuf[:0]
 	// OldToYoungRootsTask: the remembered set, striped across GC threads.
-	for _, stripe := range partition(g.H.RememberedSet(), n) {
-		tasks = append(tasks, &GCTask{Kind: TaskOldToYoungRoots, Roots: stripe})
+	parts := partitionInto(g.partBuf, g.H.RememberedSet(), n)
+	for _, stripe := range parts {
+		t := g.newTask(TaskOldToYoungRoots)
+		t.Roots = stripe
+		tasks = append(tasks, t)
 	}
 	// ScavengeRootsTask: static root categories (HotSpot enumerates ~9:
 	// universe, JNI handles, threads, object synchronizer, ...).
-	for _, part := range partition(roots.StaticRoots, 9) {
-		tasks = append(tasks, &GCTask{Kind: TaskScavengeRoots, Roots: part})
+	parts = partitionInto(parts, roots.StaticRoots, 9)
+	for _, part := range parts {
+		t := g.newTask(TaskScavengeRoots)
+		t.Roots = part
+		tasks = append(tasks, t)
 	}
+	g.partBuf = parts[:0]
 	// ThreadRootsTask: one per mutator thread.
 	for _, tr := range roots.ThreadRoots {
-		tasks = append(tasks, &GCTask{Kind: TaskThreadRoots, Roots: tr})
+		t := g.newTask(TaskThreadRoots)
+		t.Roots = tr
+		tasks = append(tasks, t)
 	}
 	// StealTask: one per GC thread, after all ordinary tasks (§2.2).
 	for w := 0; w < n; w++ {
-		tasks = append(tasks, &GCTask{Kind: TaskSteal, term: term})
+		t := g.newTask(TaskSteal)
+		t.term = term
+		tasks = append(tasks, t)
 	}
 	g.finishTasks(tasks, rep)
 	return tasks, term
@@ -538,24 +656,33 @@ func (g *Engine) buildMinorTasks(roots RootSet, rep *GCReport) ([]*GCTask, *term
 // RunMajorGC performs one stop-the-world full collection: parallel marking
 // with stealing, sweep, then partially-parallel compaction.
 func (g *Engine) RunMajorGC(e *cfs.Env, roots RootSet) *GCReport {
+	g.reclaim()
 	g.gcSeq++
 	n := len(g.queues)
-	rep := newGCReport(Major, g.gcSeq, n, g.K.NumCPUs(), e.Now())
+	rep := g.newReport(Major, g.gcSeq, e.Now())
 	rep.Before = g.snapshot()
 	g.vmThread = e.T
 	g.H.BeginMajorGC()
 
 	// Phase 1: initialization + marking task construction.
-	term := newTerminator(g, n, g.Opt.FastTerminator, g.localThreads())
-	var tasks []*GCTask
-	for _, part := range partition(roots.StaticRoots, 9) {
-		tasks = append(tasks, &GCTask{Kind: TaskMarkRoots, Roots: part})
+	term := g.newTerminator(n)
+	tasks := g.taskBuf[:0]
+	parts := partitionInto(g.partBuf, roots.StaticRoots, 9)
+	for _, part := range parts {
+		t := g.newTask(TaskMarkRoots)
+		t.Roots = part
+		tasks = append(tasks, t)
 	}
+	g.partBuf = parts[:0]
 	for _, tr := range roots.ThreadRoots {
-		tasks = append(tasks, &GCTask{Kind: TaskMarkRoots, Roots: tr})
+		t := g.newTask(TaskMarkRoots)
+		t.Roots = tr
+		tasks = append(tasks, t)
 	}
 	for w := 0; w < n; w++ {
-		tasks = append(tasks, &GCTask{Kind: TaskMarkSteal, term: term})
+		t := g.newTask(TaskMarkSteal)
+		t.term = term
+		tasks = append(tasks, t)
 	}
 	g.finishTasks(tasks, rep)
 	e.Compute(g.Costs.RootPrepBase + simkit.Time(len(tasks))*g.Costs.RootPrepPerTask)
@@ -565,6 +692,10 @@ func (g *Engine) RunMajorGC(e *cfs.Env, roots RootSet) *GCReport {
 	for !term.done {
 		e.Park()
 	}
+	// Marking is over and its queue has drained; retire the mark records
+	// (their backing slice is immediately reusable for compaction, the
+	// records themselves only after worker quiescence).
+	tasks = g.retireTasks(tasks)
 
 	// Sweep dead objects, then compact: a serial summary phase on the VM
 	// thread followed by parallel region tasks.
@@ -574,16 +705,19 @@ func (g *Engine) RunMajorGC(e *cfs.Env, roots RootSet) *GCReport {
 	serial := simkit.Time(float64(total) * g.Costs.CompactSerialFrac)
 	e.Compute(serial)
 	if parallel := total - serial; parallel > 0 && n > 0 {
-		g.bar = &barrier{g: g, remaining: n, start: e.Now()}
-		var ctasks []*GCTask
+		g.bar = &g.barScr
+		*g.bar = barrier{g: g, remaining: n, start: e.Now()}
 		for w := 0; w < n; w++ {
-			ctasks = append(ctasks, &GCTask{Kind: TaskCompact, Work: parallel / simkit.Time(n)})
+			t := g.newTask(TaskCompact)
+			t.Work = parallel / simkit.Time(n)
+			tasks = append(tasks, t)
 		}
-		g.finishTasks(ctasks, rep)
-		g.mgr.enqueueAll(e, ctasks)
+		g.finishTasks(tasks, rep)
+		g.mgr.enqueueAll(e, tasks)
 		for g.bar.remaining > 0 {
 			e.Park()
 		}
+		tasks = g.retireTasks(tasks)
 	}
 
 	fs := e.Now()
@@ -591,6 +725,7 @@ func (g *Engine) RunMajorGC(e *cfs.Env, roots RootSet) *GCReport {
 	rep.FinalSyncTime = e.Now() - fs
 	rep.After = g.snapshot()
 	rep.End = e.Now()
+	g.taskBuf = tasks
 	g.Reports = append(g.Reports, rep)
 	g.emitPhases(rep, fs)
 	g.publishMetrics(rep)

@@ -1,0 +1,129 @@
+package pscavenge
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cfs"
+	"repro/internal/evtrace"
+	"repro/internal/heap"
+	"repro/internal/objgraph"
+	"repro/internal/ostopo"
+	"repro/internal/simkit"
+)
+
+// runWorkerScript drives a fixed fill/minor/fill/minor/major schedule with
+// full event-bus tracing and returns the complete event stream, the GC
+// reports, and the kernel counters. loop selects the legacy Compute-per-step
+// worker bodies (true) or the plan-driven state machines (false).
+func runWorkerScript(t *testing.T, loop bool) ([]evtrace.Event, []*GCReport, cfs.KernelStats) {
+	t.Helper()
+	sim := simkit.New(31)
+	t.Cleanup(sim.Close)
+	tr := evtrace.New(1 << 20)
+	sim.SetTracer(tr)
+	k := cfs.NewKernel(sim, ostopo.PaperTestbed(), cfs.DefaultParams())
+	k.SetEvTracer(tr)
+	h, err := heap.New(heap.Config{
+		EdenBytes: 1 << 20, SurvivorBytes: 1 << 18, OldBytes: 1 << 22, TenureAge: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	var muts []*objgraph.Mutator
+	for i := 0; i < 6; i++ {
+		m, err := objgraph.NewMutator(i, h, objgraph.DefaultParams(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		muts = append(muts, m)
+	}
+	g := New(k, h, Options{LoopWorkers: loop})
+
+	fill := func() {
+		for i := 0; ; i = (i + 1) % len(muts) {
+			if _, ok := muts[i].AllocCluster(); !ok {
+				return
+			}
+		}
+	}
+	roots := func() RootSet {
+		rs := RootSet{}
+		for _, m := range muts {
+			rs.ThreadRoots = append(rs.ThreadRoots, m.Roots())
+		}
+		return rs
+	}
+
+	done := false
+	k.Spawn("VMThread", 19, func(e *cfs.Env) {
+		fill()
+		g.RunMinorGC(e, roots())
+		fill()
+		g.RunMinorGC(e, roots())
+		major := RootSet{}
+		for _, m := range muts {
+			major.ThreadRoots = append(major.ThreadRoots, m.Roots())
+			major.StaticRoots = append(major.StaticRoots, m.Anchor())
+		}
+		g.RunMajorGC(e, major)
+		g.Shutdown(e)
+		done = true
+	})
+	for !done && sim.Now() < 60*simkit.Second {
+		if !sim.Step() {
+			break
+		}
+	}
+	if !done {
+		t.Fatalf("VM thread did not finish by %v", sim.Now())
+	}
+	k.Shutdown()
+	for sim.Step() {
+	}
+	if n := sim.Clamped(); n != 0 {
+		t.Fatalf("simulation clamped %d past-scheduled events, want 0", n)
+	}
+	return tr.Events(), g.Reports, k.Stats
+}
+
+// TestWorkerPlanMatchesLoop is the loop-vs-plan identity oracle for the GC
+// worker state machines: the plan-driven workers must replay the legacy
+// coroutine loop's behavior exactly. Every bus event (kernel dispatches,
+// scheduler timers, monitor hand-offs, task dispatches, steal traffic) and
+// every report field must match; only the elision counters — how the work
+// was serviced, not what work happened — may differ.
+func TestWorkerPlanMatchesLoop(t *testing.T) {
+	evLoop, repLoop, ksLoop := runWorkerScript(t, true)
+	evPlan, repPlan, ksPlan := runWorkerScript(t, false)
+
+	if len(evLoop) != len(evPlan) {
+		t.Fatalf("event stream length diverged: loop=%d plan=%d", len(evLoop), len(evPlan))
+	}
+	for i := range evLoop {
+		if evLoop[i] != evPlan[i] {
+			t.Fatalf("event %d diverged:\nloop: %+v\nplan: %+v", i, evLoop[i], evPlan[i])
+		}
+	}
+	if !reflect.DeepEqual(repLoop, repPlan) {
+		t.Errorf("GC reports diverged:\nloop: %+v\nplan: %+v", repLoop, repPlan)
+	}
+
+	if ksPlan.BodyResumes >= ksLoop.BodyResumes {
+		t.Errorf("plan workers did not reduce body resumes: loop=%d plan=%d",
+			ksLoop.BodyResumes, ksPlan.BodyResumes)
+	}
+	if ksPlan.BurstElisions <= ksLoop.BurstElisions {
+		t.Errorf("plan workers produced no extra burst elisions: loop=%d plan=%d",
+			ksLoop.BurstElisions, ksPlan.BurstElisions)
+	}
+	// Everything except the elision bookkeeping must be identical.
+	ksLoop.BodyResumes, ksPlan.BodyResumes = 0, 0
+	ksLoop.PlanElisions, ksPlan.PlanElisions = 0, 0
+	ksLoop.BurstElisions, ksPlan.BurstElisions = 0, 0
+	if ksLoop != ksPlan {
+		t.Errorf("kernel stats diverged beyond elision counters:\nloop: %+v\nplan: %+v", ksLoop, ksPlan)
+	}
+}

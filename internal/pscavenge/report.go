@@ -96,6 +96,52 @@ func newGCReport(kind GCKind, seq, threads, cores int, start simkit.Time) *GCRep
 	return r
 }
 
+// newReport pops a recycled report (see RecycleReports) and rewinds it, or
+// allocates a fresh one. The engine's geometry (threads, cores) is fixed at
+// New, so pooled matrices always fit; the check guards against a pool
+// polluted by a foreign report.
+func (g *Engine) newReport(kind GCKind, seq int, start simkit.Time) *GCReport {
+	threads, cores := len(g.queues), g.K.NumCPUs()
+	for n := len(g.repFree); n > 0; n = len(g.repFree) {
+		r := g.repFree[n-1]
+		g.repFree[n-1] = nil
+		g.repFree = g.repFree[:n-1]
+		if len(r.TasksByThread) != threads ||
+			(threads > 0 && len(r.GetTaskByCore[0]) != cores) {
+			continue
+		}
+		tbt, gtc := r.TasksByThread, r.GetTaskByCore
+		for i := range tbt {
+			for j := range tbt[i] {
+				tbt[i][j] = 0
+			}
+			for j := range gtc[i] {
+				gtc[i][j] = 0
+			}
+		}
+		*r = GCReport{Kind: kind, Seq: seq, Start: start,
+			TasksByThread: tbt, GetTaskByCore: gtc}
+		return r
+	}
+	return newGCReport(kind, seq, threads, cores, start)
+}
+
+// RecycleReports returns every accumulated report — including its
+// distribution matrices — to the engine's pool and truncates Reports.
+// Callers that consume reports as they go (benchmark loops, long-lived
+// services that aggregate and discard) use this to make steady-state
+// collections allocation-free; the recycled reports must no longer be
+// referenced. Reports first sit on the pending list: a termination
+// straggler may still be adding its clamped termination share to the last
+// report, so reuse waits for worker quiescence (Engine.reclaim).
+func (g *Engine) RecycleReports() {
+	for i, r := range g.Reports {
+		g.pendReps = append(g.pendReps, r)
+		g.Reports[i] = nil
+	}
+	g.Reports = g.Reports[:0]
+}
+
 func (r *GCReport) recordDispatch(worker, core int, kind TaskKind) {
 	r.TasksByThread[worker][kind]++
 	if core >= 0 && core < len(r.GetTaskByCore[worker]) {

@@ -69,13 +69,20 @@ type RootSet struct {
 
 // partition splits ids into at most n non-empty chunks of balanced size.
 func partition(ids []heap.ObjID, n int) [][]heap.ObjID {
+	return partitionInto(nil, ids, n)
+}
+
+// partitionInto is partition with a reusable destination buffer: the result
+// aliases dst's backing array when it has the capacity. The caller must not
+// reuse dst while the result is still live.
+func partitionInto(dst [][]heap.ObjID, ids []heap.ObjID, n int) [][]heap.ObjID {
+	out := dst[:0]
 	if len(ids) == 0 || n <= 0 {
-		return nil
+		return out
 	}
 	if n > len(ids) {
 		n = len(ids)
 	}
-	out := make([][]heap.ObjID, 0, n)
 	chunk := (len(ids) + n - 1) / n
 	for i := 0; i < len(ids); i += chunk {
 		end := i + chunk

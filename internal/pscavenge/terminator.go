@@ -27,10 +27,6 @@ type terminator struct {
 	localThreads []int
 }
 
-func newTerminator(g *Engine, total int, fast bool, localThreads []int) *terminator {
-	return &terminator{g: g, total: total, fast: fast, localThreads: localThreads}
-}
-
 // threshold returns the consecutive-failure count after which worker w
 // offers termination. The base is N (all GC threads, §2.3); the fast
 // terminator (§4.2) shrinks it to N_live (threads that have not offered),

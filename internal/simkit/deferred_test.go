@@ -1,0 +1,182 @@
+package simkit
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestAtNextMatchesAtOrder is the continuation slot's determinism oracle: a
+// randomized schedule/cancel script is replayed on two simulators, one using
+// At for every event and one routing a deterministic subset through AtNext.
+// The (at, seq) total order promises identical fire sequences; any
+// divergence in fired ids, times, or counts is a slot-ordering bug.
+func TestAtNextMatchesAtOrder(t *testing.T) {
+	type firing struct {
+		ID int
+		At Time
+	}
+	run := func(useSlot bool) []firing {
+		s := New(7)
+		rng := rand.New(rand.NewSource(99))
+		var log []firing
+		var evs []Event
+		nextID := 0
+		// Seed events that reschedule successors as they fire, mimicking
+		// the kernel's timer chains.
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			id := nextID
+			nextID++
+			d := Time(rng.Intn(50))
+			fn := func() {
+				log = append(log, firing{id, s.Now()})
+				if depth > 0 {
+					schedule(depth - 1)
+					schedule(depth - 1)
+				}
+			}
+			at := s.Now() + d
+			var e Event
+			if useSlot && id%3 == 0 {
+				e = s.AtNext(at, fn)
+			} else {
+				e = s.At(at, fn)
+			}
+			evs = append(evs, e)
+			// Occasionally cancel an arbitrary earlier event, including
+			// ones staged in the slot.
+			if len(evs) > 4 && rng.Intn(5) == 0 {
+				s.Cancel(evs[rng.Intn(len(evs))])
+			}
+		}
+		for i := 0; i < 8; i++ {
+			schedule(4)
+		}
+		s.Run()
+		return log
+	}
+	plain := run(false)
+	slotted := run(true)
+	if len(plain) == 0 {
+		t.Fatal("oracle fired no events")
+	}
+	if !reflect.DeepEqual(plain, slotted) {
+		t.Fatalf("fire order diverged: %d plain vs %d slotted firings", len(plain), len(slotted))
+	}
+}
+
+// TestAtNextTieBreakOrder pins the equal-timestamp case: an AtNext event
+// scheduled after an At event at the same time must fire after it (seq
+// order), and before a later-scheduled At event at that time.
+func TestAtNextTieBreakOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(10, func() { order = append(order, 1) })
+	s.AtNext(10, func() { order = append(order, 2) })
+	s.At(10, func() { order = append(order, 3) })
+	s.Run()
+	if !reflect.DeepEqual(order, []int{1, 2, 3}) {
+		t.Fatalf("tie-break order = %v, want [1 2 3]", order)
+	}
+}
+
+// TestAtNextDisplacement: a second AtNext materializes the first into the
+// heap without losing or reordering it.
+func TestAtNextDisplacement(t *testing.T) {
+	s := New(1)
+	var order []int
+	e1 := s.AtNext(20, func() { order = append(order, 1) })
+	e2 := s.AtNext(10, func() { order = append(order, 2) })
+	if !e1.Pending() || !e2.Pending() {
+		t.Fatal("both events must stay pending after displacement")
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if !reflect.DeepEqual(order, []int{2, 1}) {
+		t.Fatalf("order = %v, want [2 1]", order)
+	}
+}
+
+// TestAtNextCancel: cancelling a staged event releases the slot in O(1) and
+// leaves the handle inert; a stale handle stays a no-op after slot reuse.
+func TestAtNextCancel(t *testing.T) {
+	s := New(1)
+	fired := 0
+	e := s.AtNext(10, func() { fired++ })
+	if !e.Pending() || e.At() != 10 {
+		t.Fatalf("staged event Pending()=%v At()=%v, want true, 10", e.Pending(), e.At())
+	}
+	s.Cancel(e)
+	if e.Pending() || s.Pending() != 0 {
+		t.Fatal("cancel of staged event did not release it")
+	}
+	s.Cancel(e) // double cancel: no-op
+	// Reuse the slot; the stale handle must not touch the new tenant.
+	e2 := s.AtNext(30, func() { fired += 10 })
+	s.Cancel(e)
+	if !e2.Pending() {
+		t.Fatal("stale cancel hit the slot's new tenant")
+	}
+	s.Run()
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10", fired)
+	}
+}
+
+// TestAtNextRunUntil: RunUntil must see a staged event as pending work both
+// when it is the earliest event and when the heap root is earlier.
+func TestAtNextRunUntil(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.AtNext(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.RunUntil(15)
+	if !reflect.DeepEqual(order, []int{1}) || s.Now() != 15 {
+		t.Fatalf("after RunUntil(15): order=%v now=%v", order, s.Now())
+	}
+	s.AtNext(30, func() { order = append(order, 3) })
+	s.RunUntil(40)
+	if !reflect.DeepEqual(order, []int{1, 2, 3}) || s.Now() != 40 {
+		t.Fatalf("after RunUntil(40): order=%v now=%v", order, s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", s.Pending())
+	}
+}
+
+// TestAtNextPastClamp: AtNext clamps past times exactly like At.
+func TestAtNextPastClamp(t *testing.T) {
+	s := New(1)
+	s.At(50, func() {
+		s.AtNext(10, func() {})
+	})
+	s.Run()
+	if s.Clamped() != 1 {
+		t.Fatalf("Clamped() = %d, want 1", s.Clamped())
+	}
+}
+
+// BenchmarkSimkitAtNextChain measures the self-reprogramming timer chain the
+// slot exists for: one event cancels itself and reschedules via AtNext each
+// firing, never touching the heap.
+func BenchmarkSimkitAtNextChain(b *testing.B) {
+	s := New(1)
+	var e Event
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			e = s.AtNext(s.Now()+1, fn)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e = s.AtNext(1, fn)
+	for s.Step() {
+	}
+	_ = e
+}

@@ -12,12 +12,16 @@ package simkit
 // stale handle's gen can never match a recycled record again, so Cancel and
 // Pending on old handles are harmless no-ops rather than corruption.
 
+// hidxDeferred marks a record staged in the Sim's continuation slot
+// (AtNext) rather than resident in the heap.
+const hidxDeferred int32 = -2
+
 // eventRec is the pooled storage behind an Event handle.
 type eventRec struct {
 	fn   func()
 	at   Time
 	gen  uint64
-	hidx int32 // index in the heap, -1 while the record is free
+	hidx int32 // index in the heap, -1 while free, hidxDeferred while staged
 }
 
 // allocSlot takes a record off the free list (or grows the pool) and

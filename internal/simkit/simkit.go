@@ -90,16 +90,29 @@ type Sim struct {
 	free    []int32    // free-list of recycled slots
 	rng     *rand.Rand
 	fired   uint64
+	inlined uint64
 	clamped uint64
 	coros   []stopper // registered coroutines, for cleanup
 	etr     *evtrace.Tracer
+
+	// Continuation slot: at most one pending event staged outside the heap
+	// (see AtNext). defSlot < 0 means the slot is empty.
+	defSlot int32
+	defEnt  heapEnt
+
+	// limit is the active RunUntil horizon. FireInline must not advance the
+	// clock past it, because staged events beyond the horizon stay pending.
+	limit Time
 }
+
+// maxTime is the largest representable Time; used as the "no horizon" limit.
+const maxTime = Time(1<<63 - 1)
 
 type stopper interface{ stop() }
 
 // New creates a simulator with a deterministic RNG seeded by seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	return &Sim{rng: rand.New(rand.NewSource(seed)), defSlot: -1, limit: maxTime}
 }
 
 // Now returns the current virtual time.
@@ -111,6 +124,10 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // Fired returns the number of events executed so far.
 func (s *Sim) Fired() uint64 { return s.fired }
 
+// Inlined returns how many of the fired events were executed by FireInline
+// (batch-dispatched without an event record), a subset of Fired.
+func (s *Sim) Inlined() uint64 { return s.inlined }
+
 // Clamped returns the number of At calls that asked for a time in the past
 // and were clamped to "now". A well-formed model never schedules into the
 // past, so test suites assert this stays zero to surface latent scheduling
@@ -118,7 +135,13 @@ func (s *Sim) Fired() uint64 { return s.fired }
 func (s *Sim) Clamped() uint64 { return s.clamped }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (s *Sim) Pending() int { return len(s.pq) }
+func (s *Sim) Pending() int {
+	n := len(s.pq)
+	if s.defSlot >= 0 {
+		n++
+	}
+	return n
+}
 
 // SetTracer installs an event-bus tracer (nil disables tracing). Tracing
 // only records; it never perturbs the event order, clock, or RNG, so runs
@@ -148,6 +171,44 @@ func (s *Sim) At(t Time, fn func()) Event {
 // After schedules fn to run d nanoseconds from now.
 func (s *Sim) After(d Time, fn func()) Event { return s.At(s.now+d, fn) }
 
+// AtNext schedules fn at absolute time t, exactly like At, but stages the
+// event in the Sim's one-entry continuation slot instead of pushing it onto
+// the heap. The slot is the batch-dispatch fast path for self-reprogramming
+// event chains (a core timer that cancels and reschedules itself on every
+// continuation): while the staged event stays the earliest pending one it
+// fires straight from the slot and a Cancel releases it in O(1), so a run of
+// same-core continuations costs zero heap sift operations. The (at, seq)
+// total order is untouched — the slot entry is assigned its sequence number
+// by the same counter, Step compares it against the heap root with the same
+// entBefore order, and it is pushed onto the heap ("materialized") the
+// moment a later AtNext wants the slot or the heap root must fire first.
+// Scheduling, firing, and cancellation are observably identical to At.
+func (s *Sim) AtNext(t Time, fn func()) Event {
+	if t < s.now {
+		t = s.now
+		s.clamped++
+	}
+	s.seq++
+	if s.defSlot >= 0 {
+		s.materializeDeferred()
+	}
+	slot := s.allocSlot(t, fn)
+	s.events[slot].hidx = hidxDeferred
+	s.defSlot = slot
+	s.defEnt = heapEnt{at: t, seq: s.seq, slot: slot}
+	if s.etr != nil {
+		s.etr.Emit(evtrace.Event{Kind: evtrace.KEvSchedule, At: int64(s.now), Core: -1, TID: -1, Arg1: int64(t)})
+	}
+	return Event{s: s, gen: s.events[slot].gen, slot: slot}
+}
+
+// materializeDeferred moves the staged continuation event into the heap.
+func (s *Sim) materializeDeferred() {
+	ent := s.defEnt
+	s.defSlot = -1
+	s.heapPush(ent)
+}
+
 // Cancel removes a pending event. Cancelling a fired, already-cancelled, or
 // zero Event is a no-op.
 func (s *Sim) Cancel(e Event) {
@@ -161,16 +222,32 @@ func (s *Sim) Cancel(e Event) {
 	if s.etr != nil {
 		s.etr.Emit(evtrace.Event{Kind: evtrace.KEvCancel, At: int64(s.now), Core: -1, TID: -1, Arg1: int64(rec.at)})
 	}
-	s.heapRemove(int(rec.hidx))
+	if rec.hidx == hidxDeferred {
+		s.defSlot = -1 // release the continuation slot; no heap ops at all
+	} else {
+		s.heapRemove(int(rec.hidx))
+	}
 	s.freeSlot(e.slot)
 }
 
 // Step fires the next event. It returns false when the queue is empty.
 func (s *Sim) Step() bool {
+	if s.defSlot >= 0 && (len(s.pq) == 0 || entBefore(s.defEnt, s.pq[0])) {
+		ent := s.defEnt
+		s.defSlot = -1
+		s.fire(ent)
+		return true
+	}
 	if len(s.pq) == 0 {
 		return false
 	}
-	ent := s.heapPopRoot()
+	s.fire(s.heapPopRoot())
+	return true
+}
+
+// fire runs one dequeued event entry: release its record, advance the
+// clock, and invoke the callback.
+func (s *Sim) fire(ent heapEnt) {
 	fn := s.events[ent.slot].fn
 	s.freeSlot(ent.slot)
 	s.now = ent.at
@@ -179,7 +256,6 @@ func (s *Sim) Step() bool {
 		s.etr.Emit(evtrace.Event{Kind: evtrace.KEvFire, At: int64(ent.at), Core: -1, TID: -1, Arg1: int64(ent.seq)})
 	}
 	fn()
-	return true
 }
 
 // Run executes events until the queue is empty.
@@ -188,10 +264,68 @@ func (s *Sim) Run() {
 	}
 }
 
+// FireInline performs a whole schedule-and-fire cycle at time t on behalf of
+// the caller, without creating an event record: the calling callback simply
+// keeps executing as if its continuation had been staged and had fired as
+// the very next event. That is only sound when the continuation really would
+// fire next — no staged or heap event at or before t (on a tie the existing
+// event holds the smaller sequence number and must go first), and t not past
+// an active RunUntil horizon — and only from the tail of the currently
+// firing callback, so nothing else runs in between. FireInline returns false
+// when any of those conditions fail and the caller must schedule normally.
+// On success the sequence counter, fired counter, clock, and the
+// KEvSchedule/KEvFire trace emissions advance exactly as an At followed by
+// Step would advance them, so event streams stay byte-identical.
+func (s *Sim) FireInline(t Time) bool {
+	if t < s.now || t > s.limit {
+		return false
+	}
+	if s.defSlot >= 0 && s.defEnt.at <= t {
+		return false
+	}
+	if len(s.pq) > 0 && s.pq[0].at <= t {
+		return false
+	}
+	s.seq++
+	if s.etr != nil {
+		s.etr.Emit(evtrace.Event{Kind: evtrace.KEvSchedule, At: int64(s.now), Core: -1, TID: -1, Arg1: int64(t)})
+	}
+	s.now = t
+	s.fired++
+	s.inlined++
+	if s.etr != nil {
+		s.etr.Emit(evtrace.Event{Kind: evtrace.KEvFire, At: int64(t), Core: -1, TID: -1, Arg1: int64(s.seq)})
+	}
+	return true
+}
+
+// nextAt returns the earliest pending event time across the heap and the
+// continuation slot, and whether any event is pending.
+func (s *Sim) nextAt() (Time, bool) {
+	if len(s.pq) == 0 {
+		if s.defSlot < 0 {
+			return 0, false
+		}
+		return s.defEnt.at, true
+	}
+	at := s.pq[0].at
+	if s.defSlot >= 0 && s.defEnt.at < at {
+		at = s.defEnt.at
+	}
+	return at, true
+}
+
 // RunUntil executes events with timestamps <= t, then advances the clock to
 // t. Events scheduled beyond t remain pending.
 func (s *Sim) RunUntil(t Time) {
-	for len(s.pq) > 0 && s.pq[0].at <= t {
+	saved := s.limit
+	s.limit = t
+	defer func() { s.limit = saved }()
+	for {
+		at, ok := s.nextAt()
+		if !ok || at > t {
+			break
+		}
 		s.Step()
 	}
 	if s.now < t {

@@ -1,0 +1,59 @@
+package taskq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPool adapts a deque slice to the Pool interface.
+type benchPool struct{ queues []Deque[int] }
+
+func (p benchPool) NumQueues() int     { return len(p.queues) }
+func (p benchPool) QueueLen(i int) int { return p.queues[i].Len() }
+
+// BenchmarkStealLoop measures the engine's steal inner loop in isolation:
+// per attempt one ChooseVictim draw, a PopTop on the chosen victim and the
+// stats bookkeeping, exactly as pscavenge's steal task performs them. One
+// op is a full cycle — reseed the victims' queues, then thieve until the
+// pool is dry. The loop must not allocate (bench-guard): deque backings,
+// policy state and the RNG are all reused across cycles.
+func BenchmarkStealLoop(b *testing.B) {
+	const (
+		workers  = 8
+		perQueue = 32 // below the deque's shrink threshold: no realloc churn
+	)
+	queues := make([]Deque[int], workers)
+	// Hoisted interface conversion, as the engine does with its poolView:
+	// converting per ChooseVictim call would box the struct every attempt.
+	var pool Pool = benchPool{queues: queues}
+	policy := NewBestOf2()
+	stats := NewStats(workers)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := 1; q < workers; q++ {
+			for j := 0; j < perQueue; j++ {
+				queues[q].PushBottom(j)
+			}
+		}
+		remaining := (workers - 1) * perQueue
+		for remaining > 0 {
+			victim := policy.ChooseVictim(0, pool, rng)
+			stats.Attempts[0]++
+			if victim >= 0 {
+				if _, ok := queues[victim].PopTop(); ok {
+					policy.RecordResult(0, victim, true)
+					remaining--
+					continue
+				}
+			}
+			policy.RecordResult(0, victim, false)
+			stats.Failures[0]++
+		}
+	}
+	b.StopTimer()
+	if stats.TotalAttempts() < int64(b.N)*(workers-1)*perQueue {
+		b.Fatal("steal loop lost attempts")
+	}
+}

@@ -74,8 +74,12 @@ func (d *Deque[T]) Cap() int { return cap(d.items) }
 // compact copies the live region down over the dead prefix. Without it a
 // heavily stolen-from deque keeps its high-water-mark backing array for the
 // whole scavenge, since the prefix is only dropped on a full drain. When the
-// live region has shrunk to a quarter of a large backing array, the array is
-// reallocated at the live size so the memory is actually released.
+// live region has shrunk to a quarter of a genuinely large backing array,
+// the array is reallocated at the live size so the memory is actually
+// released. The release threshold is deliberately high: ordinary
+// collections cycle a few hundred entries per queue, and shrinking those
+// would make every scavenge re-grow the array it just gave back
+// (steady-state collections must not allocate — see bench-guard).
 func (d *Deque[T]) compact() {
 	n := copy(d.items, d.items[d.top:])
 	var zero T
@@ -84,7 +88,7 @@ func (d *Deque[T]) compact() {
 	}
 	d.items = d.items[:n]
 	d.top = 0
-	if cap(d.items) >= 64 && n <= cap(d.items)/4 {
+	if cap(d.items) >= 1024 && n <= cap(d.items)/4 {
 		shrunk := make([]T, n)
 		copy(shrunk, d.items)
 		d.items = shrunk
